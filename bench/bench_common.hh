@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harness.
+ *
+ * Every bench binary prints the series the paper's figure reports,
+ * one row per application/configuration, with the paper's headline
+ * values quoted alongside for comparison.  Speedups are normalized
+ * the way the paper normalizes: GTO warp scheduler + round-robin
+ * sub-core assignment on the partitioned SM.
+ */
+
+#ifndef SCSIM_BENCH_BENCH_COMMON_HH
+#define SCSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "gpu/gpu_sim.hh"
+#include "stats/stats.hh"
+#include "workloads/suite.hh"
+
+namespace scsim::bench {
+
+/** The design points evaluated across the paper's figures. */
+enum class Design
+{
+    Baseline,        //!< GTO + RR on the partitioned SM
+    RBA,
+    SRR,
+    Shuffle,
+    ShuffleRBA,
+    FullyConnected,
+    FullyConnectedRBA,
+    BankStealing,
+    Cus4,            //!< 4 CUs per sub-core
+    Cus8,
+    Cus16,
+};
+
+inline const char *
+toString(Design d)
+{
+    switch (d) {
+      case Design::Baseline:          return "Baseline";
+      case Design::RBA:               return "RBA";
+      case Design::SRR:               return "SRR";
+      case Design::Shuffle:           return "Shuffle";
+      case Design::ShuffleRBA:        return "Shuffle+RBA";
+      case Design::FullyConnected:    return "Fully-Connected";
+      case Design::FullyConnectedRBA: return "FC+RBA";
+      case Design::BankStealing:      return "BankStealing";
+      case Design::Cus4:              return "4 CUs";
+      case Design::Cus8:              return "8 CUs";
+      case Design::Cus16:             return "16 CUs";
+    }
+    return "?";
+}
+
+/** Scaled-down Volta baseline used by the harness (see DESIGN.md). */
+inline GpuConfig
+baseConfig(int numSms = 8)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = numSms;
+    return cfg;
+}
+
+/** Apply one design point to a baseline configuration. */
+inline GpuConfig
+applyDesign(GpuConfig cfg, Design d)
+{
+    switch (d) {
+      case Design::Baseline:
+        break;
+      case Design::RBA:
+        cfg.scheduler = SchedulerPolicy::RBA;
+        break;
+      case Design::SRR:
+        cfg.assign = AssignPolicy::SRR;
+        break;
+      case Design::Shuffle:
+        cfg.assign = AssignPolicy::Shuffle;
+        break;
+      case Design::ShuffleRBA:
+        cfg.scheduler = SchedulerPolicy::RBA;
+        cfg.assign = AssignPolicy::Shuffle;
+        break;
+      case Design::FullyConnected:
+        cfg.subCores = 1;
+        break;
+      case Design::FullyConnectedRBA:
+        cfg.subCores = 1;
+        cfg.scheduler = SchedulerPolicy::RBA;
+        break;
+      case Design::BankStealing:
+        cfg.bankStealing = true;
+        break;
+      case Design::Cus4:
+        cfg.collectorUnitsPerSm = 4 * cfg.subCores;
+        break;
+      case Design::Cus8:
+        cfg.collectorUnitsPerSm = 8 * cfg.subCores;
+        break;
+      case Design::Cus16:
+        cfg.collectorUnitsPerSm = 16 * cfg.subCores;
+        break;
+    }
+    return cfg;
+}
+
+/** Cycles for @p app under @p cfg. */
+inline SimStats
+runApp(const GpuConfig &cfg, const AppSpec &spec)
+{
+    return simulate(cfg, buildApp(spec));
+}
+
+inline double
+speedup(Cycle baseline, Cycle design)
+{
+    return static_cast<double>(baseline) / static_cast<double>(design);
+}
+
+/** Print one table row: name then fixed-precision values. */
+inline void
+printRow(const std::string &name,
+         const std::vector<double> &values)
+{
+    std::printf("%-16s", name.c_str());
+    for (double v : values)
+        std::printf(" %8.3f", v);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &first,
+            const std::vector<std::string> &cols)
+{
+    std::printf("%-16s", first.c_str());
+    for (const auto &c : cols)
+        std::printf(" %8s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace scsim::bench
+
+#endif // SCSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 1: speedup of a hypothetical fully-connected SM over the
+ * 4-way partitioned Volta SM, across the full 112-application suite.
+ *
+ * Paper: per-app speedups mostly between 1.0x and ~1.6x, averaging
+ * ~13.2% (quoted in Sec. VI as the fully-connected average).
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+    std::printf("Figure 1: fully-connected SM speedup over 4-way "
+                "partitioned, 112 applications\n");
+    std::printf("Paper: mean ~1.132x across the suite\n\n");
+
+    GpuConfig base = baseConfig(6);
+    GpuConfig fc = applyDesign(base, Design::FullyConnected);
+
+    std::vector<double> all;
+    std::string curSuite;
+    std::vector<double> suiteVals;
+    auto flushSuite = [&] {
+        if (!suiteVals.empty()) {
+            printRow("  [" + curSuite + "]",
+                     { geomean(suiteVals),
+                       static_cast<double>(suiteVals.size()) });
+            suiteVals.clear();
+        }
+    };
+
+    for (const AppSpec &spec : standardSuite(scale)) {
+        if (spec.suite != curSuite) {
+            flushSuite();
+            curSuite = spec.suite;
+        }
+        Cycle b = runApp(base, spec).cycles;
+        Cycle f = runApp(fc, spec).cycles;
+        double s = speedup(b, f);
+        printRow(spec.name, { s });
+        all.push_back(s);
+        suiteVals.push_back(s);
+    }
+    flushSuite();
+
+    std::printf("\n");
+    printRow("MEAN (arith)", { mean(all) });
+    printRow("MEAN (geo)", { geomean(all) });
+    std::printf("Paper reference: ~1.132 (13.2%% average speedup)\n");
+    return 0;
+}

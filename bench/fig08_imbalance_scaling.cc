@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 8: performance of the unbalanced FMA microbenchmark as the
+ * amount of inter-warp divergence scales, for the three sub-core
+ * assignment designs.
+ *
+ * The workload has one long-running warp every four (the TPC-H
+ * shape); the x axis scales the long warps' instruction count.
+ * Paper: RR (baseline) degrades steeply; SRR balances it perfectly
+ * (it was crafted for this 1-in-4 pattern); Random Shuffle sits in
+ * between and falls behind SRR as imbalance grows.
+ */
+
+#include "bench_common.hh"
+#include "workloads/microbench.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main()
+{
+    std::printf("Figure 8: unbalanced FMA normalized runtime vs "
+                "imbalance factor\n");
+    std::printf("Paper: SRR flat ~1.0, Shuffle increasingly behind "
+                "SRR, RR worst\n\n");
+
+    GpuConfig rr = baseConfig(2);
+    GpuConfig srr = rr;
+    srr.assign = AssignPolicy::SRR;
+    GpuConfig shuffle = rr;
+    shuffle.assign = AssignPolicy::Shuffle;
+
+    printHeader("imbalance", { "RR", "SRR", "Shuffle" });
+    for (double imbalance : { 1.0, 2.0, 4.0, 8.0, 16.0, 32.0 }) {
+        KernelDesc k = makeImbalanceMicro(imbalance, 256, 16);
+        // Normalize each design to the ideal: total work spread
+        // perfectly, i.e. the SRR runtime at imbalance 1.
+        Cycle t0 = simulate(srr, makeImbalanceMicro(1.0, 256, 16)).cycles;
+        double work = (8.0 * imbalance + 24.0) / 32.0;
+        double ideal = static_cast<double>(t0) * work;
+        printRow(std::to_string(imbalance), {
+            static_cast<double>(simulate(rr, k).cycles) / ideal,
+            static_cast<double>(simulate(srr, k).cycles) / ideal,
+            static_cast<double>(simulate(shuffle, k).cycles) / ideal,
+        });
+    }
+    return 0;
+}

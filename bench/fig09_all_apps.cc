@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 9: design performance on all 112 applications — speedups of
+ * RBA, SRR, Shuffle, Shuffle+RBA and the fully-connected SM,
+ * normalized to the GTO + round-robin partitioned baseline.
+ *
+ * Paper: Shuffle+RBA averages +10.6%, fully-connected +13.2%; the
+ * combined designs capture ~81% of the loss from sub-division.
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+    const Design designs[] = { Design::RBA, Design::SRR, Design::Shuffle,
+                               Design::ShuffleRBA,
+                               Design::FullyConnected };
+
+    std::printf("Figure 9: design speedups over GTO+RR baseline, all "
+                "applications\n");
+    std::printf("Paper: Shuffle+RBA avg 1.106, Fully-Connected avg "
+                "1.132\n\n");
+
+    std::vector<std::string> cols;
+    for (Design d : designs)
+        cols.emplace_back(toString(d));
+    printHeader("app", cols);
+
+    GpuConfig base = baseConfig(6);
+    std::vector<std::vector<double>> perDesign(std::size(designs));
+
+    for (const AppSpec &spec : standardSuite(scale)) {
+        Cycle b = runApp(base, spec).cycles;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < std::size(designs); ++i) {
+            double s = speedup(b, runApp(applyDesign(base, designs[i]),
+                                         spec).cycles);
+            row.push_back(s);
+            perDesign[i].push_back(s);
+        }
+        printRow(spec.name, row);
+    }
+
+    std::printf("\n");
+    std::vector<double> means, geos;
+    for (auto &v : perDesign) {
+        means.push_back(mean(v));
+        geos.push_back(geomean(v));
+    }
+    printRow("MEAN (arith)", means);
+    printRow("MEAN (geo)", geos);
+    std::printf("\nPaper reference means: RBA-family ~1.11 on "
+                "sensitive apps; Shuffle+RBA 1.106 and FC 1.132 over "
+                "all apps\n");
+    return 0;
+}

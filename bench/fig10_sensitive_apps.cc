@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 10: summary design performance on the applications sensitive
+ * to SM subdivision (the Table III subset), including the
+ * register-bank-stealing [36] comparison and doubled collector units.
+ *
+ * Paper: RBA +11.1% average (beats doubling CUs at +4.1% with ~1%
+ * area/power); bank stealing <1%; SRR/Shuffle preserve performance on
+ * balanced apps and fix the TPC-H imbalance.
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    const Design designs[] = { Design::RBA, Design::Cus4,
+                               Design::BankStealing, Design::SRR,
+                               Design::Shuffle, Design::ShuffleRBA,
+                               Design::FullyConnected };
+
+    std::printf("Figure 10: design speedups on partitioning-sensitive "
+                "applications\n");
+    std::printf("Paper: RBA ~1.11 avg, 2x CUs ~1.04, bank stealing "
+                "<1.01, overall sensitive-app gain ~1.19\n\n");
+
+    std::vector<std::string> cols;
+    for (Design d : designs)
+        cols.emplace_back(toString(d));
+    printHeader("app", cols);
+
+    GpuConfig base = baseConfig(6);
+    std::vector<std::vector<double>> perDesign(std::size(designs));
+
+    for (const AppSpec &spec : sensitiveApps(scale)) {
+        Cycle b = runApp(base, spec).cycles;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < std::size(designs); ++i) {
+            double s = speedup(b, runApp(applyDesign(base, designs[i]),
+                                         spec).cycles);
+            row.push_back(s);
+            perDesign[i].push_back(s);
+        }
+        printRow(spec.name, row);
+    }
+
+    std::printf("\n");
+    std::vector<double> means;
+    for (auto &v : perDesign)
+        means.push_back(mean(v));
+    printRow("MEAN (arith)", means);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 11: RBA also improves the *fully-connected* SM in register-
+ * file-sensitive applications.
+ *
+ * Paper: on apps where RBA beats fully-connected, adding RBA to the
+ * fully-connected SM raises its geomean speedup from 1.061 to 1.196.
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    std::printf("Figure 11: fully-connected SM with and without RBA, "
+                "RF-sensitive apps (speedup vs partitioned GTO+RR)\n");
+    std::printf("Paper: geomean FC 1.061 -> FC+RBA 1.196 on this "
+                "subset\n\n");
+
+    GpuConfig base = baseConfig(6);
+    GpuConfig fc = applyDesign(base, Design::FullyConnected);
+    GpuConfig fcRba = applyDesign(base, Design::FullyConnectedRBA);
+    GpuConfig rba = applyDesign(base, Design::RBA);
+
+    printHeader("app", { "RBA", "FC", "FC+RBA" });
+    std::vector<double> rbaS, fcS, fcRbaS;
+    for (const AppSpec &spec : rfSensitiveApps(scale)) {
+        Cycle b = runApp(base, spec).cycles;
+        double s1 = speedup(b, runApp(rba, spec).cycles);
+        double s2 = speedup(b, runApp(fc, spec).cycles);
+        double s3 = speedup(b, runApp(fcRba, spec).cycles);
+        printRow(spec.name, { s1, s2, s3 });
+        rbaS.push_back(s1);
+        fcS.push_back(s2);
+        fcRbaS.push_back(s3);
+    }
+    std::printf("\n");
+    printRow("GEOMEAN", { geomean(rbaS), geomean(fcS),
+                          geomean(fcRbaS) });
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 12: speedup from scaling collector units per sub-core
+ * (banks held at 2), with the fully-connected SM and RBA as
+ * references.
+ *
+ * Paper: 4/8/16 CUs per sub-core give +4.1% / +7.1% / +9.6% average;
+ * RBA reaches +11.9% on the same subset at ~1% cost; diminishing
+ * returns beyond 8 CUs (+2.5% from 8 to 16).
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    const Design designs[] = { Design::Cus4, Design::Cus8, Design::Cus16,
+                               Design::RBA, Design::FullyConnected };
+
+    std::printf("Figure 12: CU scaling speedup, normalized to 2 CUs "
+                "per sub-core\n");
+    std::printf("Paper: 4 CUs +4.1%%, 8 CUs +7.1%%, 16 CUs +9.6%%, "
+                "RBA +11.9%% on this subset\n\n");
+
+    std::vector<std::string> cols;
+    for (Design d : designs)
+        cols.emplace_back(toString(d));
+    printHeader("app", cols);
+
+    GpuConfig base = baseConfig(6);
+    std::vector<std::vector<double>> perDesign(std::size(designs));
+    for (const AppSpec &spec : rfSensitiveApps(scale)) {
+        Cycle b = runApp(base, spec).cycles;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < std::size(designs); ++i) {
+            double s = speedup(b, runApp(applyDesign(base, designs[i]),
+                                         spec).cycles);
+            row.push_back(s);
+            perDesign[i].push_back(s);
+        }
+        printRow(spec.name, row);
+    }
+    std::printf("\n");
+    std::vector<double> means;
+    for (auto &v : perDesign)
+        means.push_back(mean(v));
+    printRow("MEAN (arith)", means);
+    return 0;
+}

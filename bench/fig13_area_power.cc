@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 13: area and power of scaling collector units per sub-core,
+ * versus the RBA design, from the analytical cost model (substitute
+ * for the paper's Cadence Genus + OpenRAM 45nm synthesis).
+ *
+ * Paper anchors: 4 CUs => +27% area, +60% power; RBA => ~+1% both.
+ * All designs include the warp issue scheduler, operand collector and
+ * two register file banks; normalized to the 2-CU GTO baseline.
+ */
+
+#include "bench_common.hh"
+#include "power/cost_model.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main()
+{
+    std::printf("Figure 13: issue-stage area/power, normalized to "
+                "2 CUs + GTO\n");
+    std::printf("Paper: 4 CUs = 1.27x area / 1.60x power; RBA = "
+                "~1.01x both\n\n");
+
+    GpuConfig base = GpuConfig::volta();
+    CostEstimate ref = CostModel::subcore(base);
+
+    printHeader("design", { "area", "power" });
+    for (int cus : { 2, 4, 8, 16 }) {
+        GpuConfig cfg = base;
+        cfg.collectorUnitsPerSm = cus * cfg.subCores;
+        CostEstimate e = CostModel::subcore(cfg);
+        printRow(std::to_string(cus) + " CUs",
+                 { e.area / ref.area, e.power / ref.power });
+    }
+    GpuConfig rba = base;
+    rba.scheduler = SchedulerPolicy::RBA;
+    CostEstimate e = CostModel::subcore(rba);
+    printRow("RBA (2 CUs)", { e.area / ref.area, e.power / ref.power });
+
+    std::printf("\nComponent breakdown (baseline):\n");
+    CostBreakdown b = CostModel::breakdown(base);
+    printHeader("component", { "area", "power" });
+    printRow("reg file", { b.rfArea, b.rfPower });
+    printRow("scheduler", { b.schedArea, b.schedPower });
+    printRow("collectors", { b.cuArea, b.cuPower });
+    printRow("crossbar", { b.xbarArea, b.xbarPower });
+    std::printf("\nRBA storage: %d score bits vs %d bits per CU of "
+                "operand storage\n", CostModel::rbaScoreBits(),
+                CostModel::cuStorageBits());
+    return 0;
+}

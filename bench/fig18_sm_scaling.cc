@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 18: trading fewer fully-connected SMs against more
+ * partitioned SMs, on compute-bound applications.
+ *
+ * Paper: ~100 partitioned SMs match 80 fully-connected SMs; with
+ * RBA+Shuffle only ~84 partitioned SMs are needed.  We sweep at
+ * 1/10th chip scale (8 fully-connected SMs as the reference) and
+ * report the interpolated crossing points.
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+namespace {
+
+/** Compute-bound subset that scales with SM count. */
+std::vector<AppSpec>
+computeBound(double scale)
+{
+    std::vector<AppSpec> out;
+    for (const char *n : { "pb-mriq", "pb-sgemm", "rod-lavaMD",
+                           "rod-srad", "ply-2Dcon", "ply-gemm",
+                           "db-gemm-tr", "cutlass-4096" })
+        out.push_back(findApp(n, scale));
+    return out;
+}
+
+double
+meanCycles(const GpuConfig &cfg, const std::vector<AppSpec> &apps)
+{
+    double sum = 0;
+    for (const AppSpec &spec : apps)
+        sum += static_cast<double>(runApp(cfg, spec).cycles);
+    return sum / static_cast<double>(apps.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+    std::printf("Figure 18: partitioned SM count needed to match 8 "
+                "fully-connected SMs (1/10th of the paper's 80)\n");
+    std::printf("Paper (at 80-SM scale): baseline needs ~100, our "
+                "techniques ~84\n\n");
+
+    std::vector<AppSpec> apps = computeBound(scale);
+
+    GpuConfig fcCfg = applyDesign(baseConfig(8),
+                                  Design::FullyConnected);
+    double fcTime = meanCycles(fcCfg, apps);
+
+    printHeader("partSMs", { "base/FC8", "ShufRBA/FC8" });
+    const int counts[] = { 7, 8, 9, 10, 11, 12 };
+    double prevBase = 0, prevDesign = 0;
+    double crossBase = -1, crossDesign = -1;
+    int prevN = 0;
+    for (int n : counts) {
+        GpuConfig part = baseConfig(n);
+        GpuConfig design = applyDesign(part, Design::ShuffleRBA);
+        double rBase = fcTime / meanCycles(part, apps);
+        double rDesign = fcTime / meanCycles(design, apps);
+        printRow(std::to_string(n), { rBase, rDesign });
+        auto cross = [&](double prev, double cur) {
+            // Linear interpolation for ratio == 1.0.
+            return prevN + (1.0 - prev) / (cur - prev)
+                * (n - prevN);
+        };
+        if (crossBase < 0 && prevBase > 0 && prevBase < 1.0
+            && rBase >= 1.0)
+            crossBase = cross(prevBase, rBase);
+        if (crossDesign < 0 && prevDesign > 0 && prevDesign < 1.0
+            && rDesign >= 1.0)
+            crossDesign = cross(prevDesign, rDesign);
+        prevBase = rBase;
+        prevDesign = rDesign;
+        prevN = n;
+    }
+    std::printf("\nCrossing (ratio=1.0): baseline %.1f SMs, "
+                "Shuffle+RBA %.1f SMs (scale to x10 for the paper's "
+                "80-SM chip)\n",
+                crossBase, crossDesign);
+    return 0;
+}

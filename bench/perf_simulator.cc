@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cycle
+ * throughput of the SM model and the cost of its hot structures.
+ * Useful when optimizing the simulator, not part of the paper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/assign.hh"
+#include "core/reg_file.hh"
+#include "core/scoreboard.hh"
+#include "gpu/gpu_sim.hh"
+#include "workloads/microbench.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace scsim;
+
+void
+BM_FmaMicroSim(benchmark::State &state)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 1;
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 512, 4);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        SimStats s = simulate(cfg, k);
+        cycles += s.cycles;
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FmaMicroSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_SuiteAppSim(benchmark::State &state)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    Application app = buildApp(findApp("rod-hotspot", 0.1));
+    for (auto _ : state) {
+        SimStats s = simulate(cfg, app);
+        benchmark::DoNotOptimize(s.cycles);
+    }
+}
+BENCHMARK(BM_SuiteAppSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_ScoreboardReady(benchmark::State &state)
+{
+    Scoreboard sb;
+    Instruction pending = Instruction::alu(Opcode::FMA, 7, 7, 8, 9);
+    sb.markIssue(pending);
+    Instruction probe = Instruction::alu(Opcode::FMA, 1, 1, 2, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sb.ready(probe));
+}
+BENCHMARK(BM_ScoreboardReady);
+
+void
+BM_ArbiterCycle(benchmark::State &state)
+{
+    RegFileArbiter arb(2);
+    ArbGrants grants;
+    for (auto _ : state) {
+        arb.pushRead(0, ReadRequest{ 0, 1 });
+        arb.pushRead(0, ReadRequest{ 1, 1 });
+        arb.pushRead(1, ReadRequest{ 0, 2 });
+        grants.clear();
+        arb.arbitrate(grants);
+        grants.clear();
+        arb.arbitrate(grants);
+        benchmark::DoNotOptimize(grants.reads.size());
+    }
+}
+BENCHMARK(BM_ArbiterCycle);
+
+void
+BM_ShuffleAssign(benchmark::State &state)
+{
+    ShuffleAssigner assigner(4, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(assigner.nextSubcore());
+}
+BENCHMARK(BM_ShuffleAssign);
+
+void
+BM_BuildApp(benchmark::State &state)
+{
+    AppSpec spec = findApp("tpcU-q1", 0.2);
+    for (auto _ : state) {
+        Application app = buildApp(spec);
+        benchmark::DoNotOptimize(app.kernels.size());
+    }
+}
+BENCHMARK(BM_BuildApp)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section VII ablation: how close do the paper's zero-cost assignment
+ * hashes come to an *idealized* warp-migration (work-stealing) oracle
+ * that re-binds warps to idle sub-cores for free?
+ *
+ * The paper argues real work stealing is prohibitively expensive
+ * (register state would have to move); this bench quantifies the
+ * remaining headroom the hashes leave on the table.
+ */
+
+#include "bench_common.hh"
+#include "workloads/microbench.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    std::printf("Assignment hashes vs the ideal-migration oracle "
+                "(speedup vs GTO+RR)\n\n");
+
+    GpuConfig base = baseConfig(6);
+    GpuConfig srr = applyDesign(base, Design::SRR);
+    GpuConfig shuffle = applyDesign(base, Design::Shuffle);
+    GpuConfig oracle = base;
+    oracle.idealWarpMigration = true;
+
+    printHeader("workload", { "SRR", "Shuffle", "Oracle", "migr/kc" });
+    const char *apps[] = { "tpcU-q8", "tpcC-q9", "tpcC-q14",
+                           "cg-pgrnk", "pb-mriq" };
+    for (const char *name : apps) {
+        Application app = buildApp(findApp(name, scale));
+        Cycle b = simulate(base, app).cycles;
+        SimStats o = simulate(oracle, app);
+        printRow(name, {
+            speedup(b, simulate(srr, app).cycles),
+            speedup(b, simulate(shuffle, app).cycles),
+            speedup(b, o.cycles),
+            1000.0 * static_cast<double>(o.warpMigrations)
+                / static_cast<double>(o.cycles),
+        });
+    }
+
+    // The pathological microbenchmark: the oracle's best case.
+    KernelDesc micro = makeImbalanceMicro(16.0, 384, 24);
+    Cycle b = simulate(base, micro).cycles;
+    SimStats o = simulate(oracle, micro);
+    printRow("imbalance-16x", {
+        speedup(b, simulate(srr, micro).cycles),
+        speedup(b, simulate(shuffle, micro).cycles),
+        speedup(b, o.cycles),
+        1000.0 * static_cast<double>(o.warpMigrations)
+            / static_cast<double>(o.cycles),
+    });
+    return 0;
+}

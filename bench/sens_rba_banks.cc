@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Section VI-B5: RBA benefit as banks per sub-core scale.
+ *
+ * Paper: doubling banks per sub-core from 2 to 4 reduces RBA's
+ * average benefit from 19.3% to 15.4% — more banks leave fewer
+ * read-operand bottlenecks for RBA to fix.
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    std::printf("RBA speedup vs banks per sub-core (each normalized "
+                "to GTO at the same bank count)\n");
+    std::printf("Paper: RBA benefit 19.3%% at 2 banks -> 15.4%% at 4 "
+                "banks\n\n");
+
+    printHeader("app", { "2banks", "4banks" });
+    std::vector<double> s2, s4;
+    for (const AppSpec &spec : rfSensitiveApps(scale)) {
+        std::vector<double> row;
+        for (int banks : { 2, 4 }) {
+            GpuConfig base = baseConfig(6);
+            base.rfBanksPerSm = banks * base.subCores;
+            GpuConfig rba = base;
+            rba.scheduler = SchedulerPolicy::RBA;
+            double s = speedup(runApp(base, spec).cycles,
+                               runApp(rba, spec).cycles);
+            row.push_back(s);
+            (banks == 2 ? s2 : s4).push_back(s);
+        }
+        printRow(spec.name, row);
+    }
+    std::printf("\n");
+    printRow("MEAN", { mean(s2), mean(s4) });
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Section VI-B4: RBA score-update latency sensitivity.
+ *
+ * The RBA score may be computed from bank-queue lengths up to 20
+ * cycles stale (to keep it off the critical path).  Paper: across the
+ * top RBA applications the average loss is <0.1% up to 20 cycles;
+ * only ply-2Dcon degrades noticeably (speedup 24.2% -> 19.2%).
+ */
+
+#include "bench_common.hh"
+
+using namespace scsim;
+using namespace scsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    std::printf("RBA score staleness sweep (speedup vs GTO "
+                "baseline)\n");
+    std::printf("Paper: <0.1%% average loss from 0 to 20 cycles\n\n");
+
+    const int lats[] = { 0, 1, 2, 5, 10, 20 };
+    std::vector<std::string> cols;
+    for (int l : lats)
+        cols.emplace_back("lat" + std::to_string(l));
+    printHeader("app", cols);
+
+    GpuConfig base = baseConfig(6);
+    std::vector<std::vector<double>> perLat(std::size(lats));
+    for (const AppSpec &spec : rfSensitiveApps(scale)) {
+        Cycle b = runApp(base, spec).cycles;
+        std::vector<double> row;
+        for (std::size_t i = 0; i < std::size(lats); ++i) {
+            GpuConfig cfg = applyDesign(base, Design::RBA);
+            cfg.rbaScoreLatency = lats[i];
+            double s = speedup(b, runApp(cfg, spec).cycles);
+            row.push_back(s);
+            perLat[i].push_back(s);
+        }
+        printRow(spec.name, row);
+    }
+    std::printf("\n");
+    std::vector<double> means;
+    for (auto &v : perLat)
+        means.push_back(mean(v));
+    printRow("MEAN", means);
+    return 0;
+}

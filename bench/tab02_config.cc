@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table II: baseline simulator configuration parameters.
+ */
+
+#include <cstdio>
+
+#include "config/gpu_config.hh"
+
+using namespace scsim;
+
+int
+main()
+{
+    GpuConfig c = GpuConfig::volta();
+    c.validate();
+    std::printf("Table II: baseline simulator configuration\n\n");
+    std::printf("%-34s %s\n", "Number of SMs",
+                "80 (20 for TPC-H)");
+    std::printf("%-34s %d\n", "Sub-Cores per SM", c.subCores);
+    std::printf("%-34s %s\n", "Warp Scheduler Algorithm",
+                toString(c.scheduler));
+    std::printf("%-34s %d\n", "Max Warps per SM", c.maxWarpsPerSm);
+    std::printf("%-34s %s\n", "Sub-core Assignment",
+                toString(c.assign));
+    std::printf("%-34s %u KB\n", "Register File per Sub-core",
+                c.regFileBytesPerCluster() / 1024);
+    std::printf("%-34s %d\n", "RF Banks per Sub-core",
+                c.banksPerCluster());
+    std::printf("%-34s %d\n", "CUs per Sub-core", c.cusPerCluster());
+    std::printf("%-34s %u KB\n", "L1 / Shared Memory Cache",
+                c.l1Bytes / 1024);
+    std::printf("%-34s %d-way %u MB\n", "L2 Cache", c.l2Ways,
+                c.l2Bytes / (1024 * 1024));
+    std::printf("%-34s %d / %d / %d\n",
+                "L1 / L2 / DRAM latency (cycles)", c.l1HitLatency,
+                c.l2HitLatency, c.dramLatency);
+    std::printf("%-34s %.2f / %.2f\n",
+                "L2 / DRAM sectors per cycle per SM",
+                c.l2SectorsPerCyclePerSm, c.dramSectorsPerCyclePerSm);
+    std::printf("%-34s %d (II %d, lat %d)\n",
+                "FP32 pipes per scheduler", c.spPipesPerScheduler,
+                c.spInitiation, c.spLatency);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Design-space exploration: sweep the partitioning axis (sub-cores per
+ * SM), the collector-unit count, and the scheduling/assignment designs
+ * over one application, reporting performance next to issue-stage
+ * area/power from the cost model.  Demonstrates config files and the
+ * trace round-trip as well.
+ *
+ *   ./examples/design_space [app-name] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "gpu/gpu_sim.hh"
+#include "power/cost_model.hh"
+#include "trace/trace_io.hh"
+#include "workloads/suite.hh"
+
+using namespace scsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "rod-srad";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    Application app = buildApp(findApp(name, scale));
+    std::printf("application: %s (%llu warp instructions)\n\n",
+                app.name.c_str(),
+                static_cast<unsigned long long>(
+                    app.totalWarpInstructions()));
+
+    // The trace round-trips through the text format losslessly.
+    {
+        std::stringstream ss;
+        writeApplication(ss, app);
+        Application back = readApplication(ss);
+        std::printf("trace round-trip: %zu kernels, %llu instructions "
+                    "preserved\n\n", back.kernels.size(),
+                    static_cast<unsigned long long>(
+                        back.totalWarpInstructions()));
+    }
+
+    std::printf("--- partitioning sweep (GTO + RR) ---\n");
+    std::printf("%-10s %10s %8s %7s %7s\n", "sub-cores", "cycles",
+                "speedup", "area", "power");
+    Cycle fourSub = 0;
+    for (int subCores : { 4, 2, 1 }) {
+        GpuConfig cfg = GpuConfig::volta();
+        cfg.numSms = 4;
+        cfg.subCores = subCores;
+        SimStats s = simulate(cfg, app);
+        if (subCores == 4)
+            fourSub = s.cycles;
+        CostEstimate cost = CostModel::subcore(cfg);
+        std::printf("%-10d %10llu %7.3fx %7.2f %7.2f\n", subCores,
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<double>(fourSub)
+                        / static_cast<double>(s.cycles),
+                    cost.area, cost.power);
+    }
+
+    std::printf("\n--- design sweep on the 4-sub-core SM ---\n");
+    std::printf("%-22s %10s %8s\n", "design", "cycles", "speedup");
+    struct Design { const char *name; const char *key;
+                    const char *value; };
+    const Design designs[] = {
+        { "GTO + RR (baseline)", "scheduler", "GTO" },
+        { "RBA", "scheduler", "RBA" },
+        { "SRR assignment", "assign", "SRR" },
+        { "Shuffle assignment", "assign", "Shuffle" },
+        { "Hashed shuffle (HW)", "assign", "HashShuffle" },
+    };
+    for (const Design &d : designs) {
+        GpuConfig cfg = GpuConfig::volta();
+        cfg.numSms = 4;
+        cfg.set(d.key, d.value);   // the key=value config interface
+        SimStats s = simulate(cfg, app);
+        std::printf("%-22s %10llu %7.3fx\n", d.name,
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<double>(fourSub)
+                        / static_cast<double>(s.cycles));
+    }
+
+    std::printf("\n--- collector-unit sweep (perf per issue-stage "
+                "area) ---\n");
+    std::printf("%-8s %10s %8s %7s %12s\n", "CUs", "cycles", "speedup",
+                "area", "perf/area");
+    for (int cus : { 1, 2, 4, 8 }) {
+        GpuConfig cfg = GpuConfig::volta();
+        cfg.numSms = 4;
+        cfg.collectorUnitsPerSm = cus * cfg.subCores;
+        SimStats s = simulate(cfg, app);
+        double speedup = static_cast<double>(fourSub)
+            / static_cast<double>(s.cycles);
+        double area = CostModel::subcore(cfg).area;
+        std::printf("%-8d %10llu %7.3fx %7.2f %12.3f\n", cus,
+                    static_cast<unsigned long long>(s.cycles),
+                    speedup, area, speedup / area);
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Register bank conflicts and the RBA scheduler.
+ *
+ * Builds a compute kernel whose instruction stream goes through
+ * compiler-like "phases" of bank-skewed operands — the pattern that
+ * saturates one of the sub-core's two register banks — and compares
+ * the GTO baseline against RBA, collector-unit scaling, and the
+ * fully-connected SM.
+ *
+ *   ./examples/register_pressure
+ */
+
+#include <cstdio>
+
+#include "gpu/gpu_sim.hh"
+#include "power/cost_model.hh"
+#include "workloads/suite.hh"
+
+using namespace scsim;
+
+int
+main()
+{
+    // A conflict-heavy synthetic app from the suite generator: dial
+    // the knobs directly instead of picking a named application.
+    AppSpec spec;
+    spec.name = "bank-pressure-demo";
+    spec.suite = "examples";
+    spec.numBlocks = 48;
+    spec.warpsPerBlock = 8;
+    spec.baseInsts = 800;
+    spec.fmaFrac = 0.75;
+    spec.memFrac = 0.03;
+    spec.ilp = 6;
+    spec.regWindow = 24;
+    spec.conflictBias = 0.85;   // operands cluster in one bank per phase
+    spec.footprintMB = 4;
+    Application app = buildApp(spec);
+
+    struct Variant
+    {
+        const char *name;
+        GpuConfig cfg;
+    };
+    GpuConfig base = GpuConfig::volta();
+    base.numSms = 4;
+    GpuConfig rba = base;
+    rba.scheduler = SchedulerPolicy::RBA;
+    GpuConfig cu4 = base;
+    cu4.collectorUnitsPerSm = 4 * cu4.subCores;
+    GpuConfig fc = base;
+    fc.subCores = 1;
+    const Variant variants[] = {
+        { "GTO (baseline)", base },
+        { "RBA", rba },
+        { "4 CUs/sub-core", cu4 },
+        { "Fully-connected", fc },
+    };
+
+    std::printf("%-18s %10s %8s %12s %12s %7s %7s\n", "design",
+                "cycles", "speedup", "conflicts/kc", "RF reads/c",
+                "area", "power");
+    Cycle baseCycles = 0;
+    for (const Variant &v : variants) {
+        SimStats s = simulate(v.cfg, app);
+        if (baseCycles == 0)
+            baseCycles = s.cycles;
+        CostEstimate cost = CostModel::subcore(v.cfg);
+        std::printf("%-18s %10llu %7.3fx %12.1f %12.1f %7.2f %7.2f\n",
+                    v.name,
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<double>(baseCycles)
+                        / static_cast<double>(s.cycles),
+                    1000.0 * static_cast<double>(
+                        s.rfBankConflictCycles)
+                        / static_cast<double>(s.cycles),
+                    static_cast<double>(s.rfReads)
+                        / static_cast<double>(s.cycles),
+                    cost.area, cost.power);
+    }
+
+    std::printf("\nRBA reads the per-bank request-queue lengths and "
+                "issues the warp whose\noperands sit in the least "
+                "contended banks — the 4-CU design buys similar\n"
+                "throughput with ~27%% more area and ~60%% more power "
+                "in the issue stage\n(Fig 13), while RBA costs ~1%%.\n");
+    return 0;
+}

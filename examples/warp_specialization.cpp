@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Warp-specialized programming and sub-core imbalance.
+ *
+ * Builds a producer/consumer kernel in the style of warp-specialized
+ * libraries (one "leader" warp per group of four does the heavy
+ * decompression-like work, the others do light bookkeeping), then
+ * shows how the static warp -> sub-core binding turns that imbalance
+ * into whole-sub-core idling, and how SRR / Shuffle assignment fix it.
+ *
+ *   ./examples/warp_specialization [work_ratio]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpu/gpu_sim.hh"
+
+using namespace scsim;
+
+namespace {
+
+WarpProgram
+workerShape(int insts)
+{
+    WarpProgram p;
+    for (int i = 0; i < insts; ++i) {
+        // Integer-dominated decompression-like inner loop.
+        RegIndex acc = static_cast<RegIndex>(i % 4);
+        if (i % 5 == 0)
+            p.code.push_back(Instruction::alu(Opcode::IMAD, acc, acc,
+                                              4, 5));
+        else
+            p.code.push_back(Instruction::alu(Opcode::IADD, acc, acc,
+                                              6));
+    }
+    p.code.push_back(Instruction::barrier());
+    p.code.push_back(Instruction::exit());
+    return p;
+}
+
+KernelDesc
+warpSpecializedKernel(double ratio)
+{
+    KernelDesc k;
+    k.name = "warp-specialized";
+    k.numBlocks = 48;
+    k.warpsPerBlock = 16;
+    k.regsPerThread = 16;
+    k.smemBytesPerBlock = 16 * 1024;   // staging buffers
+    k.shapes.push_back(workerShape(
+        static_cast<int>(300 * ratio)));          // leader
+    k.shapes.push_back(workerShape(300));         // follower
+    for (int w = 0; w < 16; ++w)
+        k.shapeOfWarp.push_back(w % 4 == 0 ? 0 : 1);
+    k.validate();
+    return k;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double ratio = argc > 1 ? std::atof(argv[1]) : 8.0;
+    KernelDesc kernel = warpSpecializedKernel(ratio);
+
+    std::printf("Warp-specialized kernel: leader warp does %.0fx the "
+                "work of followers (every 4th warp)\n\n", ratio);
+    std::printf("%-12s %10s %10s %14s\n", "assignment", "cycles",
+                "speedup", "issue CoV");
+
+    Cycle base = 0;
+    for (AssignPolicy p : { AssignPolicy::RoundRobin, AssignPolicy::SRR,
+                            AssignPolicy::Shuffle,
+                            AssignPolicy::HashShuffle }) {
+        GpuConfig cfg = GpuConfig::volta();
+        cfg.numSms = 4;
+        cfg.assign = p;
+        SimStats s = simulate(cfg, kernel);
+        if (p == AssignPolicy::RoundRobin)
+            base = s.cycles;
+        std::printf("%-12s %10llu %9.3fx %14.3f\n", toString(p),
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<double>(base)
+                        / static_cast<double>(s.cycles),
+                    s.issueCov());
+    }
+
+    std::printf("\nWhy round robin fails here: warp w of each block "
+                "lands on sub-core w %% 4,\nso every leader warp piles "
+                "onto sub-core 0 while sub-cores 1-3 wait at the\n"
+                "block barrier with nothing to issue.  SRR's skewed "
+                "pattern rotates the\nleaders across sub-cores; "
+                "Shuffle randomizes them.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * fatal(): the simulation cannot continue because of a user error
+ * (bad configuration, impossible workload).  Exits with code 1.
+ *
+ * panic(): something happened that should never happen regardless of
+ * user input, i.e. a simulator bug.  Aborts.
+ *
+ * warn()/inform(): non-terminating status messages.
+ */
+
+#ifndef SCSIM_COMMON_LOGGING_HH
+#define SCSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace scsim {
+
+/** Verbosity control: messages below this level are suppressed. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2 };
+
+/** Process-wide log level (defaults to Warn so benches stay quiet). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void fatalImpl(const char *file, int line, std::string msg);
+[[noreturn]] void panicImpl(const char *file, int line, std::string msg);
+void warnImpl(std::string msg);
+void informImpl(std::string msg);
+
+/** Minimal printf-style formatter into std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace scsim
+
+/** Terminate with a user-facing error (exit code 1). */
+#define scsim_fatal(...) \
+    ::scsim::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::scsim::detail::format(__VA_ARGS__))
+
+/** Terminate with an internal-bug error (abort). */
+#define scsim_panic(...) \
+    ::scsim::detail::panicImpl(__FILE__, __LINE__, \
+                               ::scsim::detail::format(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define scsim_warn(...) \
+    ::scsim::detail::warnImpl(::scsim::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define scsim_inform(...) \
+    ::scsim::detail::informImpl(::scsim::detail::format(__VA_ARGS__))
+
+/** Always-on invariant check; panics (simulator bug) on failure. */
+#define scsim_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::scsim::detail::panicImpl(__FILE__, __LINE__, \
+                "assertion failed: " #cond " " \
+                + ::scsim::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // SCSIM_COMMON_LOGGING_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in the simulator (Shuffle sub-core
+ * assignment, synthetic workload generation) draws from an Rng seeded
+ * from the configuration so runs are exactly reproducible.  The
+ * generator is xoshiro256** seeded through splitmix64, which is both
+ * fast and statistically strong enough for workload synthesis.
+ */
+
+#ifndef SCSIM_COMMON_RNG_HH
+#define SCSIM_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace scsim {
+
+/** splitmix64 step; also useful as a standalone integer hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stable 64-bit hash of a string (FNV-1a), for per-app seeds. */
+std::uint64_t hashString(std::string_view s);
+
+/**
+ * xoshiro256** generator.  Satisfies the essentials of
+ * UniformRandomBitGenerator so it can feed <random> adaptors, though
+ * the convenience members below cover every use in the simulator.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next raw 64-bit draw. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound), bound > 0.  Debiased. */
+    std::uint64_t next(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = next(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace scsim
+
+#endif // SCSIM_COMMON_RNG_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Simulator configuration: the Table II parameter set plus the design
+ * knobs studied in the paper (scheduler choice, sub-core count,
+ * collector-unit scaling, assignment hashing, RBA score staleness).
+ *
+ * The SM is modeled as a set of identical *issue clusters*; a cluster
+ * owns schedulers, register-file banks, collector units and execution
+ * pipes.  A partitioned Volta SM is 4 clusters of {1 scheduler, 2
+ * banks, 2 CUs}; the hypothetical fully-connected SM is 1 cluster of
+ * {4 schedulers, 8 banks, 8 CUs} — identical totals, shared freely.
+ */
+
+#ifndef SCSIM_CONFIG_GPU_CONFIG_HH
+#define SCSIM_CONFIG_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace scsim {
+
+/** Warp issue scheduling policy (Section IV-A). */
+enum class SchedulerPolicy
+{
+    LRR,        //!< loose round robin
+    GTO,        //!< greedy-then-oldest (paper baseline)
+    RBA,        //!< register-bank-aware: min {score, ~age}
+};
+
+/** Warp -> sub-core assignment policy (Section IV-B). */
+enum class AssignPolicy
+{
+    RoundRobin, //!< hardware baseline
+    SRR,        //!< skewed round robin, eq. (1)
+    Shuffle,    //!< random, per-sub-core counts within +/-1
+    HashSRR,    //!< SRR realized through the Fig 7 hash-table engine
+    HashShuffle,//!< random permutations programmed into the hash table
+};
+
+const char *toString(SchedulerPolicy p);
+const char *toString(AssignPolicy p);
+
+/** Full simulator configuration.  Defaults reproduce Table II. */
+struct GpuConfig
+{
+    // ---- chip topology ----------------------------------------------
+    int numSms = 80;
+    int schedulersPerSm = 4;
+    /** Issue clusters per SM; 1 == fully-connected / monolithic. */
+    int subCores = 4;
+
+    // ---- per-SM issue resources (divided among clusters) ------------
+    int rfBanksPerSm = 8;          //!< 2 per sub-core in Volta
+    int collectorUnitsPerSm = 8;   //!< 2 per sub-core in Volta
+    int maxWarpsPerSm = 64;
+    int maxWarpsPerScheduler = 16;
+    int maxBlocksPerSm = 32;
+    std::uint32_t regFileBytesPerSm = 4 * 64 * 1024;
+    std::uint32_t smemBytesPerSm = 96 * 1024;
+
+    // ---- scheduling policies ----------------------------------------
+    SchedulerPolicy scheduler = SchedulerPolicy::GTO;
+    AssignPolicy assign = AssignPolicy::RoundRobin;
+    /** Entries in the Fig 7 hash-function table (4 or 16). */
+    int hashTableEntries = 4;
+    /** Staleness of bank-queue lengths seen by RBA, in cycles. */
+    int rbaScoreLatency = 0;
+    /** Enable the bank-stealing comparison model [36]. */
+    bool bankStealing = false;
+    /** Idealized warp-migration oracle (Sec. VII): a sub-core with no
+     *  runnable warp may steal one from a loaded sibling at zero cost
+     *  (register state teleports).  An upper bound on what any
+     *  work-stealing hardware could achieve — not a real design. */
+    bool idealWarpMigration = false;
+
+    // ---- execution pipes (per scheduler's share) ---------------------
+    /** Warp instructions one scheduler may issue per cycle (Kepler: 2). */
+    int issueWidthPerScheduler = 1;
+    /** Monolithic (pre-Maxwell) SMs issue from one shared warp pool:
+     *  every scheduler slot may pick any ready warp in the cluster. */
+    bool sharedWarpPool = false;
+    int spPipesPerScheduler = 1;
+    int spInitiation = 2;          //!< 16-wide FP32 -> 2 cycles / warp
+    int spLatency = 4;
+    int sfuPipesPerScheduler = 1;
+    int sfuInitiation = 8;
+    int sfuLatency = 20;
+    int tensorPipesPerScheduler = 1;
+    int tensorInitiation = 4;
+    int tensorLatency = 16;
+    int ldstPipesPerScheduler = 1;
+    int ldstInitiation = 1;
+
+    // ---- memory system ------------------------------------------------
+    std::uint32_t l1Bytes = 128 * 1024;
+    int l1Ways = 8;
+    int l1LineBytes = 128;
+    int l1HitLatency = 28;
+    int l1PortsPerSm = 4;          //!< LDST accesses accepted / cycle
+    std::uint32_t l2Bytes = 6 * 1024 * 1024;
+    int l2Ways = 24;
+    int l2HitLatency = 190;
+    int dramLatency = 330;
+    /** Sectors (32B) of L2 bandwidth per cycle, per SM (autoscales). */
+    double l2SectorsPerCyclePerSm = 0.70;
+    /** Sectors (32B) of DRAM bandwidth per cycle, per SM. */
+    double dramSectorsPerCyclePerSm = 0.25;
+    int smemLatency = 24;
+
+    // ---- simulation control -------------------------------------------
+    std::uint64_t maxCycles = 200'000'000;
+    bool enableIdleSkip = true;
+    std::uint64_t seed = 1;
+    bool rfTraceEnable = false;    //!< collect the Fig 14 time series
+    Cycle rfTraceWindow = 512;
+
+    // ---- derived helpers ----------------------------------------------
+    int clusterCount() const { return subCores; }
+    int schedulersPerCluster() const { return schedulersPerSm / subCores; }
+    int banksPerCluster() const { return rfBanksPerSm / subCores; }
+    int cusPerCluster() const { return collectorUnitsPerSm / subCores; }
+    std::uint32_t
+    regFileBytesPerCluster() const
+    {
+        return regFileBytesPerSm / static_cast<std::uint32_t>(subCores);
+    }
+
+    /** Abort (fatal) on an inconsistent configuration. */
+    void validate() const;
+
+    /**
+     * Apply one "key=value" override; fatal on unknown key or
+     * unparsable value.  Keys use the field names above.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse a whole file of '#'-commented key=value lines. */
+    void loadFile(const std::string &path);
+
+    // ---- presets --------------------------------------------------------
+    /** Table II Volta V100: 4 sub-cores, 2 banks + 2 CUs each, GTO+RR. */
+    static GpuConfig volta();
+    /** Same totals as volta() but one fully-connected cluster. */
+    static GpuConfig voltaFullyConnected();
+    /** Kepler-like monolithic SMX: shared pipes, deeper FMA latency. */
+    static GpuConfig keplerLike();
+    /** Ampere A100-like: Volta sub-core layout, 108 SMs. */
+    static GpuConfig a100Like();
+};
+
+} // namespace scsim
+
+#endif // SCSIM_CONFIG_GPU_CONFIG_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Issue cluster: the unit of SM partitioning.
+ *
+ * A cluster owns warp schedulers, a banked register file with its
+ * arbiter, an operand collector, and execution pipes.  A partitioned
+ * Volta SM instantiates four clusters of {1 scheduler, 2 banks, 2
+ * CUs}; the hypothetical fully-connected SM instantiates one cluster
+ * holding all four schedulers and the pooled banks/CUs/pipes.
+ *
+ * Per-cycle sequence (driven by SmCore): dispatch ready collector
+ * units to pipes -> arbitrate register banks -> issue from each
+ * scheduler -> snapshot bank-queue lengths for the RBA staleness
+ * model.
+ */
+
+#ifndef SCSIM_CORE_ISSUE_CLUSTER_HH
+#define SCSIM_CORE_ISSUE_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "core/exec_unit.hh"
+#include "core/operand_collector.hh"
+#include "core/reg_file.hh"
+#include "core/scheduler.hh"
+
+namespace scsim {
+
+class SmCore;
+
+class IssueCluster
+{
+  public:
+    IssueCluster(const GpuConfig &cfg, int clusterId);
+
+    int id() const { return id_; }
+    int numSchedulers() const { return static_cast<int>(scheds_.size()); }
+
+    RegFileArbiter &arbiter() { return arbiter_; }
+    const RegFileArbiter &arbiter() const { return arbiter_; }
+    OperandCollector &collector() { return collector_; }
+
+    /** Warps currently bound to scheduler @p sched of this cluster. */
+    const std::vector<WarpSlot> &
+    warpsOf(int sched) const
+    {
+        return schedWarps_[static_cast<std::size_t>(sched)];
+    }
+
+    int warpCount(int sched) const;
+    int totalWarpCount() const;
+
+    /** Bind a warp to a scheduler table; returns its age rank.
+     *  @p unchecked bypasses the table-capacity assert (used only by
+     *  the ideal-migration oracle, which treats scheduler entries as
+     *  free bookkeeping). */
+    std::uint32_t addWarp(int sched, WarpSlot slot,
+                          bool unchecked = false);
+
+    /** Unbind (block completed). */
+    void removeWarp(int sched, WarpSlot slot);
+
+    /**
+     * Advance one cycle.  @p sm provides warp state and callbacks.
+     * @return true when the cluster did or could still do work this
+     * cycle (issued, has queued bank requests, or holds busy CUs) —
+     * used by the idle-skip logic.
+     */
+    bool cycle(Cycle now, SmCore &sm);
+
+    /** Idle cycles were skipped; queue history collapses to empty. */
+    void onIdleSkip();
+
+    /** Anything in flight or issuable right now? */
+    bool hasImmediateWork(const SmCore &sm) const;
+
+    void reset();
+
+  private:
+    void dispatch(Cycle now, SmCore &sm);
+    void applyGrants(Cycle now, SmCore &sm);
+    int issue(Cycle now, SmCore &sm);   //!< returns instructions issued
+    void snapshotQueues();
+
+    /** Ready-to-issue test for one warp's next instruction. */
+    bool candidateReady(const WarpContext &warp) const;
+
+    /** Queue lengths as seen by the scheduler (staleness applied). */
+    const int *staleQueueView() const;
+
+    void issueTo(Cycle now, SmCore &sm, int sched, WarpSlot slot);
+
+    const GpuConfig &cfg_;
+    int id_;
+    RegFileArbiter arbiter_;
+    OperandCollector collector_;
+    PipeSet pipes_;
+    std::vector<std::unique_ptr<WarpScheduler>> scheds_;
+    std::vector<std::vector<WarpSlot>> schedWarps_;
+    std::vector<std::uint32_t> ageCounter_;
+
+    /** Ring of bank-queue-length snapshots, newest at head_. */
+    std::vector<std::vector<int>> qlenRing_;
+    std::size_t head_ = 0;
+
+    ArbGrants grants_;
+    std::vector<WarpSlot> candidates_;   //!< scratch, reused per cycle
+};
+
+} // namespace scsim
+
+#endif // SCSIM_CORE_ISSUE_CLUSTER_HH

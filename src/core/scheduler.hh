@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Warp issue schedulers (Section IV-A).
+ *
+ * The scheduler picks one warp per cycle among the ready candidates of
+ * its scheduler table.  Three policies:
+ *
+ *  - LRR: loose round robin.
+ *  - GTO: greedy-then-oldest (paper baseline) — stay on the last
+ *    issued warp while it remains ready, else the oldest ready warp.
+ *  - RBA: register-bank-aware — order by the concatenated key
+ *    {RBA score, complement(age)} and pick the minimum, i.e. lowest
+ *    bank-contention score with age (oldest-first) breaking ties.
+ *    The score of an instruction is the sum over its source operands
+ *    of the (possibly stale) read-queue length of each operand's bank,
+ *    clamped to 5 bits exactly as the hardware table stores it.
+ */
+
+#ifndef SCSIM_CORE_SCHEDULER_HH
+#define SCSIM_CORE_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "core/warp.hh"
+
+namespace scsim {
+
+/** Everything a policy may inspect when picking. */
+struct PickContext
+{
+    Cycle now = 0;
+    /** SM warp table, indexed by WarpSlot. */
+    const WarpContext *warps = nullptr;
+    /** Read-queue length per bank (staleness already applied). */
+    const int *bankQueueLen = nullptr;
+    int numBanks = 0;
+};
+
+class WarpScheduler
+{
+  public:
+    virtual ~WarpScheduler() = default;
+
+    /**
+     * Choose a warp among @p ready (never empty); returns its slot.
+     */
+    virtual WarpSlot pick(const std::vector<WarpSlot> &ready,
+                          const PickContext &ctx) = 0;
+
+    /** Feedback after the chosen warp actually issued. */
+    virtual void notifyIssued(WarpSlot, Cycle) {}
+
+    virtual void reset() {}
+};
+
+/** 5-bit clamped RBA score of @p inst for warp @p slot (eq. in IV-A). */
+int rbaScore(const Instruction &inst, WarpSlot slot,
+             const int *bankQueueLen, int numBanks);
+
+class LrrScheduler : public WarpScheduler
+{
+  public:
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const PickContext &ctx) override;
+    void notifyIssued(WarpSlot slot, Cycle now) override;
+    void reset() override { lastIssued_ = kNoWarp; }
+
+  private:
+    WarpSlot lastIssued_ = kNoWarp;
+};
+
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const PickContext &ctx) override;
+    void notifyIssued(WarpSlot slot, Cycle now) override;
+    void reset() override { greedyWarp_ = kNoWarp; }
+
+  private:
+    WarpSlot greedyWarp_ = kNoWarp;
+};
+
+class RbaScheduler : public WarpScheduler
+{
+  public:
+    WarpSlot pick(const std::vector<WarpSlot> &ready,
+                  const PickContext &ctx) override;
+};
+
+/** Instantiate the configured policy. */
+std::unique_ptr<WarpScheduler> makeScheduler(SchedulerPolicy policy);
+
+} // namespace scsim
+
+#endif // SCSIM_CORE_SCHEDULER_HH

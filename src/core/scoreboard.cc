@@ -1,0 +1,54 @@
+#include "core/scoreboard.hh"
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+bool
+Scoreboard::ready(const Instruction &inst) const
+{
+    if (count_ == 0)
+        return true;
+    if (inst.dst != kNoReg && pending_[static_cast<std::size_t>(inst.dst)])
+        return false;
+    for (RegIndex r : inst.srcs)
+        if (r != kNoReg && pending_[static_cast<std::size_t>(r)])
+            return false;
+    return true;
+}
+
+void
+Scoreboard::markIssue(const Instruction &inst)
+{
+    if (inst.dst == kNoReg)
+        return;
+    auto idx = static_cast<std::size_t>(inst.dst);
+    scsim_assert(!pending_[idx], "WAW hazard slipped past ready()");
+    pending_.set(idx);
+    ++count_;
+}
+
+void
+Scoreboard::completeWrite(RegIndex reg)
+{
+    scsim_assert(reg != kNoReg, "completing write to no register");
+    auto idx = static_cast<std::size_t>(reg);
+    scsim_assert(pending_[idx], "completing a write that never issued");
+    pending_.reset(idx);
+    --count_;
+}
+
+bool
+Scoreboard::pending(RegIndex reg) const
+{
+    return reg != kNoReg && pending_[static_cast<std::size_t>(reg)];
+}
+
+void
+Scoreboard::reset()
+{
+    pending_.reset();
+    count_ = 0;
+}
+
+} // namespace scsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Streaming multiprocessor model.
+ *
+ * Owns the warp table, the thread-block table (with block-granularity
+ * resource release — the root cause of sub-core issue imbalance), the
+ * issue clusters, the warp -> scheduler assignment engine, and the
+ * writeback event queue.
+ */
+
+#ifndef SCSIM_CORE_SM_CORE_HH
+#define SCSIM_CORE_SM_CORE_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "core/assign.hh"
+#include "core/issue_cluster.hh"
+#include "core/warp.hh"
+#include "mem/mem_system.hh"
+#include "stats/stats.hh"
+
+namespace scsim {
+
+class SmCore
+{
+  public:
+    SmCore(const GpuConfig &cfg, int smId, MemSystem &mem,
+           SimStats &stats);
+
+    int smId() const { return smId_; }
+
+    /** Could one more block of @p kernel be resident right now? */
+    bool canAccept(const KernelDesc &kernel) const;
+
+    /** A kernel's block must fit in an *empty* SM, or it never runs. */
+    static void checkKernelFits(const GpuConfig &cfg,
+                                const KernelDesc &kernel);
+
+    /** Place block @p blockId of @p kernel (caller checked canAccept). */
+    void acceptBlock(const KernelDesc &kernel, int blockId, Cycle now);
+
+    void cycle(Cycle now);
+
+    /** Any resident block or in-flight event? */
+    bool busy() const;
+
+    /**
+     * Earliest future cycle at which this SM can make progress, given
+     * the current cycle just executed; kNoCycle when idle.
+     */
+    Cycle nextWake(Cycle now) const;
+
+    /** Idle skip notification (collapses RBA queue history). */
+    void onIdleSkip();
+
+    void reset();
+
+    // ---- callbacks used by IssueCluster -------------------------------
+    WarpContext *warpTable() { return warps_.data(); }
+    const WarpContext *warpTable() const { return warps_.data(); }
+
+    bool tryConsumeL1Port();
+    Cycle issueMemory(WarpContext &warp, const Instruction &inst,
+                      Cycle now);
+    void scheduleRegWrite(Cycle when, WarpSlot warp, RegIndex reg);
+    void completeRegWrite(WarpSlot warp, RegIndex reg);
+    void warpBarrier(WarpSlot slot);
+    void warpExit(WarpSlot slot, Cycle now);
+    void noteIssue(int cluster, int schedInCluster);
+    void noteRfReads(Cycle now, int grants);
+    SimStats &stats() { return stats_; }
+
+    // ---- introspection -------------------------------------------------
+    int activeBlocks() const { return activeBlocks_; }
+    int residentWarps() const;
+    const IssueCluster &
+    cluster(int i) const
+    {
+        return *clusters_[static_cast<std::size_t>(i)];
+    }
+    int numClusters() const { return static_cast<int>(clusters_.size()); }
+
+  private:
+    struct BlockState
+    {
+        bool live = false;
+        int blockId = -1;
+        const KernelDesc *kernel = nullptr;
+        int warpsTotal = 0;
+        int warpsExited = 0;
+        int barrierArrived = 0;
+        std::vector<WarpSlot> slots;
+    };
+
+    struct RegWriteEvent
+    {
+        Cycle when;
+        WarpSlot warp;
+        RegIndex reg;
+        bool
+        operator>(const RegWriteEvent &o) const
+        {
+            return when > o.when;
+        }
+    };
+
+    void processEvents(Cycle now);
+    /** Ideal-migration oracle: rebalance runnable warps (Sec. VII). */
+    void migrateForBalance();
+    void releaseBarrier(BlockState &block);
+    void completeBlock(BlockState &block);
+    int pickSpillScheduler(std::uint32_t regBytes) const;
+
+    const GpuConfig &cfg_;
+    int smId_;
+    MemSystem &mem_;
+    SimStats &stats_;
+
+    std::vector<WarpContext> warps_;
+    std::vector<WarpSlot> freeSlots_;
+    std::vector<BlockState> blocks_;
+    std::vector<std::unique_ptr<IssueCluster>> clusters_;
+    std::unique_ptr<SubcoreAssigner> assigner_;
+
+    /** Register bytes in use, per cluster. */
+    std::vector<std::uint32_t> regBytesUsed_;
+    std::uint32_t smemUsed_ = 0;
+    int activeBlocks_ = 0;
+
+    std::priority_queue<RegWriteEvent, std::vector<RegWriteEvent>,
+                        std::greater<RegWriteEvent>> events_;
+
+    int l1PortsLeft_ = 0;
+    bool rfTrace_ = false;
+    /** Did the last executed cycle leave immediately actionable work?
+     *  (Set by cycle(); also forced by block arrival and barrier
+     *  release, which create readiness without a writeback event.) */
+    bool hadWork_ = false;
+};
+
+} // namespace scsim
+
+#endif // SCSIM_CORE_SM_CORE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-warp execution context held in an SM warp slot.
+ */
+
+#ifndef SCSIM_CORE_WARP_HH
+#define SCSIM_CORE_WARP_HH
+
+#include <cstdint>
+
+#include "core/scoreboard.hh"
+#include "trace/kernel.hh"
+
+namespace scsim {
+
+struct WarpContext
+{
+    // ---- identity (set at block dispatch) -----------------------------
+    WarpSlot slot = kNoWarp;
+    int blockSeq = -1;            //!< index into the SM's block table
+    int warpInBlock = 0;
+    std::uint64_t gwid = 0;       //!< global warp id (addresses, swizzle)
+    const WarpProgram *prog = nullptr;
+
+    int cluster = -1;             //!< sub-core this warp is bound to
+    int schedInCluster = 0;
+    std::uint32_t ageRank = 0;    //!< issue-age within its scheduler
+    std::uint32_t regBytes = 0;   //!< register allocation footprint
+
+    // ---- dynamic state -------------------------------------------------
+    bool active = false;          //!< slot holds a live warp
+    bool exited = false;
+    bool atBarrier = false;
+    std::uint32_t pc = 0;
+    std::uint64_t memIter = 0;    //!< dynamic memory access counter
+    Cycle lastIssue = 0;
+    /** Sticky hazard marker: the next instruction was seen blocked on
+     *  the scoreboard; cleared when any of this warp's writes retires.
+     *  Pure scan optimization — never affects scheduling order. */
+    bool sbBlocked = false;
+    Scoreboard scoreboard;
+
+    bool
+    hasNextInst() const
+    {
+        return prog && pc < prog->code.size();
+    }
+
+    const Instruction &
+    nextInst() const
+    {
+        return prog->code[pc];
+    }
+
+    /** Eligible to be considered by the warp scheduler this cycle. */
+    bool
+    schedulable() const
+    {
+        return active && !exited && !atBarrier && hasNextInst();
+    }
+
+    void
+    reset()
+    {
+        *this = WarpContext{};
+    }
+};
+
+} // namespace scsim
+
+#endif // SCSIM_CORE_WARP_HH

@@ -1,0 +1,140 @@
+#include "gpu/gpu_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+GpuSim::GpuSim(const GpuConfig &cfg)
+    : cfg_(cfg), mem_(cfg_), blockSched_(sms_)
+{
+    cfg_.validate();
+    stats_.issuePerScheduler.assign(
+        static_cast<std::size_t>(cfg_.numSms),
+        std::vector<std::uint64_t>(
+            static_cast<std::size_t>(cfg_.schedulersPerSm), 0));
+    stats_.rfReadTrace = TimeSeries(cfg_.rfTraceWindow);
+    for (int i = 0; i < cfg_.numSms; ++i)
+        sms_.push_back(std::make_unique<SmCore>(cfg_, i, mem_, stats_));
+}
+
+void
+GpuSim::resetState()
+{
+    stats_ = SimStats{};
+    stats_.issuePerScheduler.assign(
+        static_cast<std::size_t>(cfg_.numSms),
+        std::vector<std::uint64_t>(
+            static_cast<std::size_t>(cfg_.schedulersPerSm), 0));
+    stats_.rfReadTrace = TimeSeries(cfg_.rfTraceWindow);
+    mem_.reset();
+    for (auto &sm : sms_)
+        sm->reset();
+}
+
+Cycle
+GpuSim::simulateKernel(const KernelDesc &kernel, Cycle now)
+{
+    SmCore::checkKernelFits(cfg_, kernel);
+    blockSched_.reset();
+    blockSched_.launch(kernel);
+    Cycle start = now;
+    now = runLoop(now, kernel.name.c_str());
+    stats_.kernelSpans.emplace_back(kernel.name, now - start);
+    return now;
+}
+
+Cycle
+GpuSim::runLoop(Cycle now, const char *what)
+{
+    auto anySmBusy = [&] {
+        for (const auto &sm : sms_)
+            if (sm->busy())
+                return true;
+        return false;
+    };
+
+    while (blockSched_.pending() || anySmBusy()) {
+        blockSched_.dispatch(now);
+        for (auto &sm : sms_)
+            sm->cycle(now);
+
+        Cycle next = now + 1;
+        if (cfg_.enableIdleSkip) {
+            Cycle wake = kNoCycle;
+            for (const auto &sm : sms_)
+                wake = std::min(wake, sm->nextWake(now));
+            if (blockSched_.anyCanAccept())
+                wake = now + 1;
+            if (wake != kNoCycle)
+                next = std::max(wake, now + 1);
+        }
+        if (next > now + 1)
+            for (auto &sm : sms_)
+                sm->onIdleSkip();
+        now = next;
+        if (now >= cfg_.maxCycles)
+            scsim_fatal("'%s' exceeded maxCycles (%llu); likely a "
+                        "too-large workload for this configuration",
+                        what,
+                        static_cast<unsigned long long>(cfg_.maxCycles));
+    }
+    return now;
+}
+
+SimStats
+GpuSim::runConcurrent(const Application &app)
+{
+    app.validate();
+    resetState();
+    blockSched_.reset();
+    for (const auto &kernel : app.kernels) {
+        SmCore::checkKernelFits(cfg_, kernel);
+        blockSched_.launch(kernel);
+    }
+    Cycle now = runLoop(0, app.name.c_str());
+    stats_.cycles = now;
+    stats_.rfReadTrace.finalize(now);
+    mem_.exportStats(stats_);
+    return stats_;
+}
+
+SimStats
+GpuSim::run(const Application &app)
+{
+    app.validate();
+    resetState();
+    Cycle now = 0;
+    for (const auto &kernel : app.kernels)
+        now = simulateKernel(kernel, now);
+    stats_.cycles = now;
+    stats_.rfReadTrace.finalize(now);
+    mem_.exportStats(stats_);
+    return stats_;
+}
+
+SimStats
+GpuSim::run(const KernelDesc &kernel)
+{
+    Application app;
+    app.name = kernel.name;
+    app.kernels.push_back(kernel);
+    return run(app);
+}
+
+SimStats
+simulate(const GpuConfig &cfg, const Application &app)
+{
+    GpuSim sim(cfg);
+    return sim.run(app);
+}
+
+SimStats
+simulate(const GpuConfig &cfg, const KernelDesc &kernel)
+{
+    GpuSim sim(cfg);
+    return sim.run(kernel);
+}
+
+} // namespace scsim

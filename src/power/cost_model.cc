@@ -1,0 +1,75 @@
+#include "power/cost_model.hh"
+
+namespace scsim {
+
+namespace {
+
+// Calibration coefficients (normalized cost units).  With the Volta
+// baseline sub-core (2 banks, 2 CUs, GTO) the total is exactly 1.0 for
+// both area and power, and the Fig 13 anchors hold:
+//   4 CUs:  area = 1 + 2*(kCuArea + 2*kXbarArea)  = 1.27
+//   4 CUs:  power = 1 + 2*(kCuPower + 2*kXbarPower) = 1.60
+//   RBA:    area/power = ~1.01
+constexpr double kRfBitsArea = 0.550;     // 64 KB SRAM macro
+constexpr double kRfBankPeriphArea = 0.035;  // per bank (decoders, IO)
+constexpr double kSchedArea = 0.110;      // PC table + comparator tree
+constexpr double kCuArea = 0.095;         // per CU (vector storage)
+constexpr double kXbarArea = 0.020;       // per CU-port x bank crosspoint
+
+constexpr double kRfBitsPower = 0.250;
+constexpr double kRfBankPeriphPower = 0.025;  // per bank
+constexpr double kSchedPower = 0.100;
+constexpr double kCuPower = 0.220;        // per CU (reads/writes vectors)
+constexpr double kXbarPower = 0.040;
+
+// RBA additions, sized from the paper: 80 bits of score storage next
+// to a ~1.6 kbit PC table, a 5-bit widening of the 15-comparator tree,
+// and the per-bank queue-length adders.
+constexpr double kRbaArea = 0.010;
+constexpr double kRbaPower = 0.010;
+
+} // namespace
+
+int
+CostModel::cuStorageBits()
+{
+    // 3 operands x 32 threads x 32 bits, plus ready/valid/regid tags.
+    return 3 * 32 * 32 + 3 * 12;
+}
+
+int
+CostModel::rbaScoreBits()
+{
+    return 16 * 5;
+}
+
+CostBreakdown
+CostModel::breakdown(const GpuConfig &cfg)
+{
+    CostBreakdown b;
+    double banks = static_cast<double>(cfg.banksPerCluster());
+    double cus = static_cast<double>(cfg.cusPerCluster());
+    bool rba = cfg.scheduler == SchedulerPolicy::RBA;
+
+    b.rfArea = kRfBitsArea + kRfBankPeriphArea * banks;
+    b.schedArea = kSchedArea;
+    b.cuArea = kCuArea * cus;
+    b.xbarArea = kXbarArea * cus * banks;
+    b.rbaArea = rba ? kRbaArea : 0.0;
+
+    b.rfPower = kRfBitsPower + kRfBankPeriphPower * banks;
+    b.schedPower = kSchedPower;
+    b.cuPower = kCuPower * cus;
+    b.xbarPower = kXbarPower * cus * banks;
+    b.rbaPower = rba ? kRbaPower : 0.0;
+    return b;
+}
+
+CostEstimate
+CostModel::subcore(const GpuConfig &cfg)
+{
+    CostBreakdown b = breakdown(cfg);
+    return CostEstimate{ b.area(), b.power() };
+}
+
+} // namespace scsim

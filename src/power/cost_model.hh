@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytical area/energy model of one sub-core's issue stage:
+ * register-file SRAM, warp scheduler (PC table + comparator network),
+ * collector units, and the operand crossbar (Fig 13 substitute for
+ * the paper's Cadence Genus + OpenRAM 45nm synthesis).
+ *
+ * Structure follows the paper's own cost narrative (Sec. VI-B2):
+ *  - each CU stores 3 operands x 32 threads x 32 bits (vector
+ *    storage dominates CU cost);
+ *  - the operand crossbar scales with collector ports x banks;
+ *  - RBA adds only 16 entries x 5 bits of score storage, a 5-bit
+ *    widening of the comparator tree, and small adders.
+ *
+ * Coefficients are calibrated so the baseline (2 CUs, 2 banks, GTO)
+ * is 1.0/1.0 and the paper's anchor points hold: 4 CUs => +27% area,
+ * +60% power; RBA => ~+1% both.
+ */
+
+#ifndef SCSIM_POWER_COST_MODEL_HH
+#define SCSIM_POWER_COST_MODEL_HH
+
+#include "config/gpu_config.hh"
+
+namespace scsim {
+
+/** Per-component normalized costs of one sub-core's issue stage. */
+struct CostBreakdown
+{
+    double rfArea = 0, schedArea = 0, cuArea = 0, xbarArea = 0,
+           rbaArea = 0;
+    double rfPower = 0, schedPower = 0, cuPower = 0, xbarPower = 0,
+           rbaPower = 0;
+
+    double
+    area() const
+    {
+        return rfArea + schedArea + cuArea + xbarArea + rbaArea;
+    }
+    double
+    power() const
+    {
+        return rfPower + schedPower + cuPower + xbarPower + rbaPower;
+    }
+};
+
+struct CostEstimate
+{
+    double area = 0;    //!< normalized to the Volta baseline sub-core
+    double power = 0;
+};
+
+class CostModel
+{
+  public:
+    /** Cost of one sub-core configured per @p cfg. */
+    static CostEstimate subcore(const GpuConfig &cfg);
+
+    static CostBreakdown breakdown(const GpuConfig &cfg);
+
+    // ---- structural parameters (bits), for documentation/tests ------
+    /** Vector operand storage bits per collector unit. */
+    static int cuStorageBits();
+    /** RBA score storage bits per sub-core (16 entries x 5 bits). */
+    static int rbaScoreBits();
+};
+
+} // namespace scsim
+
+#endif // SCSIM_POWER_COST_MODEL_HH

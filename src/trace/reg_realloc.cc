@@ -1,0 +1,168 @@
+#include "trace/reg_realloc.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+namespace {
+
+/** Distinct source registers of one instruction (up to 3). */
+int
+distinctSrcs(const Instruction &inst, RegIndex out[3])
+{
+    int n = 0;
+    for (RegIndex r : inst.srcs) {
+        if (r == kNoReg)
+            continue;
+        bool dup = false;
+        for (int i = 0; i < n; ++i)
+            dup = dup || out[i] == r;
+        if (!dup)
+            out[n++] = r;
+    }
+    return n;
+}
+
+} // namespace
+
+ConflictProfile
+profileConflicts(const WarpProgram &prog, int banks)
+{
+    ConflictProfile p;
+    std::vector<int> perBank(static_cast<std::size_t>(banks));
+    for (const Instruction &inst : prog.code) {
+        if (!inst.usesCollector())
+            continue;
+        ++p.instructions;
+        std::fill(perBank.begin(), perBank.end(), 0);
+        RegIndex srcs[3];
+        int n = distinctSrcs(inst, srcs);
+        for (int i = 0; i < n; ++i)
+            ++perBank[static_cast<std::size_t>(
+                static_cast<unsigned>(srcs[i])
+                % static_cast<unsigned>(banks))];
+        for (int b = 0; b < banks; ++b)
+            if (perBank[static_cast<std::size_t>(b)] > 1)
+                p.sameInstConflicts += static_cast<std::uint64_t>(
+                    perBank[static_cast<std::size_t>(b)] - 1);
+    }
+    return p;
+}
+
+WarpProgram
+reallocateRegisters(const WarpProgram &prog, int regWindow, int banks)
+{
+    scsim_assert(banks >= 1, "need at least one bank");
+    scsim_assert(regWindow >= 1, "empty register window");
+
+    // Pairwise "wants a different bank" weights between source
+    // registers that appear in the same instruction.
+    std::map<std::pair<RegIndex, RegIndex>, std::uint64_t> wantApart;
+    std::vector<std::uint64_t> weight(
+        static_cast<std::size_t>(regWindow), 0);
+    std::vector<bool> used(static_cast<std::size_t>(regWindow), false);
+
+    for (const Instruction &inst : prog.code) {
+        auto touch = [&](RegIndex r) {
+            if (r != kNoReg) {
+                scsim_assert(r < regWindow, "register out of window");
+                used[static_cast<std::size_t>(r)] = true;
+            }
+        };
+        touch(inst.dst);
+        for (RegIndex r : inst.srcs)
+            touch(r);
+        if (!inst.usesCollector())
+            continue;
+        RegIndex srcs[3];
+        int n = distinctSrcs(inst, srcs);
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j) {
+                auto key = std::minmax(srcs[i], srcs[j]);
+                ++wantApart[{ key.first, key.second }];
+                ++weight[static_cast<std::size_t>(srcs[i])];
+                ++weight[static_cast<std::size_t>(srcs[j])];
+            }
+    }
+
+    // Free id pool per bank class (class of id = id mod banks).
+    std::vector<std::vector<RegIndex>> freeIds(
+        static_cast<std::size_t>(banks));
+    for (int id = regWindow - 1; id >= 0; --id)
+        freeIds[static_cast<std::size_t>(id % banks)].push_back(
+            static_cast<RegIndex>(id));
+
+    // Process registers by falling conflict weight.
+    std::vector<RegIndex> order;
+    for (int r = 0; r < regWindow; ++r)
+        if (used[static_cast<std::size_t>(r)])
+            order.push_back(static_cast<RegIndex>(r));
+    std::stable_sort(order.begin(), order.end(),
+                     [&](RegIndex a, RegIndex b) {
+                         return weight[static_cast<std::size_t>(a)]
+                             > weight[static_cast<std::size_t>(b)];
+                     });
+
+    std::vector<int> classOf(static_cast<std::size_t>(regWindow), -1);
+    std::vector<RegIndex> newId(static_cast<std::size_t>(regWindow),
+                                kNoReg);
+    for (RegIndex reg : order) {
+        int bestClass = -1;
+        std::uint64_t bestCost = 0;
+        for (int c = 0; c < banks; ++c) {
+            if (freeIds[static_cast<std::size_t>(c)].empty())
+                continue;
+            std::uint64_t cost = 0;
+            for (RegIndex other : order) {
+                if (other == reg
+                    || classOf[static_cast<std::size_t>(other)] != c)
+                    continue;
+                auto key = std::minmax(reg, other);
+                auto it = wantApart.find({ key.first, key.second });
+                if (it != wantApart.end())
+                    cost += it->second;
+            }
+            if (bestClass < 0 || cost < bestCost) {
+                bestClass = c;
+                bestCost = cost;
+            }
+        }
+        scsim_assert(bestClass >= 0, "register ids exhausted");
+        classOf[static_cast<std::size_t>(reg)] = bestClass;
+        newId[static_cast<std::size_t>(reg)] =
+            freeIds[static_cast<std::size_t>(bestClass)].back();
+        freeIds[static_cast<std::size_t>(bestClass)].pop_back();
+    }
+
+    WarpProgram out;
+    out.code.reserve(prog.code.size());
+    for (const Instruction &inst : prog.code) {
+        Instruction renamed = inst;
+        auto rename = [&](RegIndex r) {
+            return r == kNoReg ? kNoReg
+                               : newId[static_cast<std::size_t>(r)];
+        };
+        renamed.dst = rename(inst.dst);
+        for (std::size_t i = 0; i < renamed.srcs.size(); ++i)
+            renamed.srcs[i] = rename(inst.srcs[i]);
+        out.code.push_back(renamed);
+    }
+    return out;
+}
+
+KernelDesc
+reallocateRegisters(const KernelDesc &kernel, int banks)
+{
+    KernelDesc out = kernel;
+    out.name = kernel.name + "-realloc";
+    for (auto &shape : out.shapes)
+        shape = reallocateRegisters(shape, kernel.regsPerThread, banks);
+    out.validate();
+    return out;
+}
+
+} // namespace scsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compiler-style register re-allocation.
+ *
+ * Section IV-A observes that sub-core partitioning "increased pressure
+ * on the compiler to avoid register bank conflicts".  This pass is
+ * that compiler fix: it renames a kernel's architectural registers (a
+ * bijection within each shape's register window) to minimize
+ * *same-instruction* bank conflicts on a given bank count.
+ *
+ * What it cannot fix — and what motivates RBA — is cross-warp
+ * contention: the issue interleaving of other warps is unknown at
+ * compile time, so two warps can still collide on a bank no matter how
+ * each one's operands are laid out.  The `sens_compiler_swizzle` bench
+ * quantifies exactly this gap.
+ */
+
+#ifndef SCSIM_TRACE_REG_REALLOC_HH
+#define SCSIM_TRACE_REG_REALLOC_HH
+
+#include "trace/kernel.hh"
+
+namespace scsim {
+
+/** Conflict metrics of one instruction stream for @p banks banks. */
+struct ConflictProfile
+{
+    std::uint64_t instructions = 0;   //!< collector instructions
+    /** Same-instruction same-bank source pairs (excess reads). */
+    std::uint64_t sameInstConflicts = 0;
+
+    double
+    conflictsPerInst() const
+    {
+        return instructions
+            ? static_cast<double>(sameInstConflicts)
+                  / static_cast<double>(instructions)
+            : 0.0;
+    }
+};
+
+/** Count same-instruction bank conflicts of @p prog (slot 0 view —
+ *  the metric is slot independent because the swizzle only rotates
+ *  the mapping). */
+ConflictProfile profileConflicts(const WarpProgram &prog, int banks);
+
+/**
+ * Rename @p prog 's registers to reduce same-instruction bank
+ * conflicts for @p banks banks.  Greedy: registers are processed in
+ * falling co-occurrence weight and pinned to the bank class that
+ * minimizes conflict weight against already-placed registers, subject
+ * to per-class id capacity inside [0, regWindow).
+ *
+ * @param regWindow  size of the register window (ids stay below it)
+ * @return the renamed program (same length, same opcodes/semantics)
+ */
+WarpProgram reallocateRegisters(const WarpProgram &prog, int regWindow,
+                                int banks);
+
+/** Apply reallocateRegisters to every shape of @p kernel. */
+KernelDesc reallocateRegisters(const KernelDesc &kernel, int banks);
+
+} // namespace scsim
+
+#endif // SCSIM_TRACE_REG_REALLOC_HH

@@ -1,0 +1,223 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+namespace {
+
+void
+writeInstruction(std::ostream &os, const Instruction &inst)
+{
+    os << toString(inst.op) << ' ' << inst.dst;
+    for (RegIndex r : inst.srcs)
+        os << ' ' << r;
+    if (isMemory(inst.op)) {
+        const MemInfo &m = inst.mem;
+        os << " space=" << (m.space == MemSpace::Global ? "G" : "S")
+           << " region=" << static_cast<int>(m.region)
+           << " sectors=" << static_cast<int>(m.sectors)
+           << " stride=" << m.strideBytes
+           << " step=" << m.stepBytes
+           << " fp=" << m.footprintBytes
+           << " random=" << (m.randomAccess ? 1 : 0);
+    }
+    os << '\n';
+}
+
+Instruction
+parseInstruction(const std::string &line, int lineNo)
+{
+    std::istringstream iss(line);
+    std::string mnemonic;
+    iss >> mnemonic;
+    Instruction inst;
+    inst.op = opcodeFromString(mnemonic);
+    int dst;
+    iss >> dst;
+    inst.dst = static_cast<RegIndex>(dst);
+    for (auto &src : inst.srcs) {
+        int r;
+        iss >> r;
+        src = static_cast<RegIndex>(r);
+    }
+    if (iss.fail())
+        scsim_fatal("trace line %d: malformed operands", lineNo);
+    if (isMemory(inst.op)) {
+        std::string kv;
+        while (iss >> kv) {
+            auto eq = kv.find('=');
+            if (eq == std::string::npos)
+                scsim_fatal("trace line %d: bad attribute '%s'",
+                            lineNo, kv.c_str());
+            std::string key = kv.substr(0, eq);
+            std::string val = kv.substr(eq + 1);
+            MemInfo &m = inst.mem;
+            if (key == "space") {
+                m.space = (val == "G") ? MemSpace::Global
+                                       : MemSpace::Shared;
+            } else if (key == "region") {
+                m.region = static_cast<std::uint8_t>(std::stoul(val));
+            } else if (key == "sectors") {
+                m.sectors = static_cast<std::uint8_t>(std::stoul(val));
+            } else if (key == "stride") {
+                m.strideBytes = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "step") {
+                m.stepBytes = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "fp") {
+                m.footprintBytes = std::stoull(val);
+            } else if (key == "random") {
+                m.randomAccess = (val == "1");
+            } else {
+                scsim_fatal("trace line %d: unknown attribute '%s'",
+                            lineNo, key.c_str());
+            }
+        }
+    }
+    return inst;
+}
+
+/** Read the next non-empty, non-comment line; false on EOF. */
+bool
+nextLine(std::istream &is, std::string &line, int &lineNo)
+{
+    while (std::getline(is, line)) {
+        ++lineNo;
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        if (line[first] == '#')
+            continue;
+        auto last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+writeApplication(std::ostream &os, const Application &app)
+{
+    os << "# subcoresim trace v1\n";
+    os << "app " << app.name << ' ' << app.suite << '\n';
+    for (const auto &k : app.kernels) {
+        os << "kernel " << k.name
+           << " blocks=" << k.numBlocks
+           << " warps=" << k.warpsPerBlock
+           << " regs=" << k.regsPerThread
+           << " smem=" << k.smemBytesPerBlock << '\n';
+        for (const auto &shape : k.shapes) {
+            os << "shape " << shape.code.size() << '\n';
+            for (const auto &inst : shape.code)
+                writeInstruction(os, inst);
+        }
+        os << "map";
+        for (std::uint16_t s : k.shapeOfWarp)
+            os << ' ' << s;
+        os << "\nendkernel\n";
+    }
+    os << "endapp\n";
+}
+
+Application
+readApplication(std::istream &is)
+{
+    Application app;
+    std::string line;
+    int lineNo = 0;
+
+    if (!nextLine(is, line, lineNo) || line.rfind("app ", 0) != 0)
+        scsim_fatal("trace line %d: expected 'app <name> <suite>'",
+                    lineNo);
+    {
+        std::istringstream iss(line);
+        std::string tag;
+        iss >> tag >> app.name >> app.suite;
+    }
+
+    while (nextLine(is, line, lineNo)) {
+        if (line == "endapp")
+            break;
+        if (line.rfind("kernel ", 0) != 0)
+            scsim_fatal("trace line %d: expected kernel/endapp, got '%s'",
+                        lineNo, line.c_str());
+        KernelDesc k;
+        {
+            std::istringstream iss(line);
+            std::string tag, kv;
+            iss >> tag >> k.name;
+            while (iss >> kv) {
+                auto eq = kv.find('=');
+                std::string key = kv.substr(0, eq);
+                long val = std::stol(kv.substr(eq + 1));
+                if (key == "blocks") k.numBlocks = static_cast<int>(val);
+                else if (key == "warps")
+                    k.warpsPerBlock = static_cast<int>(val);
+                else if (key == "regs")
+                    k.regsPerThread = static_cast<int>(val);
+                else if (key == "smem")
+                    k.smemBytesPerBlock =
+                        static_cast<std::uint32_t>(val);
+                else
+                    scsim_fatal("trace line %d: unknown kernel attr '%s'",
+                                lineNo, key.c_str());
+            }
+        }
+        // shapes and map
+        while (nextLine(is, line, lineNo)) {
+            if (line == "endkernel")
+                break;
+            if (line.rfind("shape ", 0) == 0) {
+                std::size_t n = std::stoul(line.substr(6));
+                WarpProgram prog;
+                prog.code.reserve(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (!nextLine(is, line, lineNo))
+                        scsim_fatal("trace: EOF inside shape");
+                    prog.code.push_back(parseInstruction(line, lineNo));
+                }
+                k.shapes.push_back(std::move(prog));
+            } else if (line.rfind("map", 0) == 0) {
+                std::istringstream iss(line.substr(3));
+                unsigned s;
+                while (iss >> s)
+                    k.shapeOfWarp.push_back(
+                        static_cast<std::uint16_t>(s));
+            } else {
+                scsim_fatal("trace line %d: unexpected '%s'", lineNo,
+                            line.c_str());
+            }
+        }
+        k.validate();
+        app.kernels.push_back(std::move(k));
+    }
+    app.validate();
+    return app;
+}
+
+void
+saveApplication(const std::string &path, const Application &app)
+{
+    std::ofstream out(path);
+    if (!out)
+        scsim_fatal("cannot open '%s' for writing", path.c_str());
+    writeApplication(out, app);
+}
+
+Application
+loadApplication(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        scsim_fatal("cannot open trace '%s'", path.c_str());
+    return readApplication(in);
+}
+
+} // namespace scsim

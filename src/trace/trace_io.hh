@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Text (de)serialization of applications.
+ *
+ * A small line-oriented format stands in for Accel-Sim SASS traces:
+ * kernels, their warp shapes, and per-warp shape maps round-trip
+ * exactly.  Useful for archiving generated workloads and for feeding
+ * externally produced traces into the simulator.
+ */
+
+#ifndef SCSIM_TRACE_TRACE_IO_HH
+#define SCSIM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/kernel.hh"
+
+namespace scsim {
+
+/** Serialize an application to the text trace format. */
+void writeApplication(std::ostream &os, const Application &app);
+
+/** Parse one application; fatal on malformed input. */
+Application readApplication(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveApplication(const std::string &path, const Application &app);
+Application loadApplication(const std::string &path);
+
+} // namespace scsim
+
+#endif // SCSIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,153 @@
+#include "workloads/calibration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+ProgramProfile
+analyzeProgram(const WarpProgram &prog, int banks)
+{
+    ProgramProfile p;
+    double readSum = 0, worstSum = 0, distSum = 0;
+    std::vector<int> bankReads(static_cast<std::size_t>(banks));
+    std::vector<double> bankLoad(static_cast<std::size_t>(banks));
+
+    const auto &code = prog.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instruction &inst = code[i];
+        if (!inst.usesCollector())
+            continue;
+        p.computeInsts += 1;
+
+        std::fill(bankReads.begin(), bankReads.end(), 0);
+        int reads = 0;
+        for (int s = 0; s < 3; ++s) {
+            RegIndex r = inst.srcs[static_cast<std::size_t>(s)];
+            if (r == kNoReg)
+                continue;
+            bool dup = false;
+            for (int q = 0; q < s; ++q)
+                if (inst.srcs[static_cast<std::size_t>(q)] == r)
+                    dup = true;
+            if (dup)
+                continue;
+            ++reads;
+            ++bankReads[static_cast<std::size_t>(
+                static_cast<unsigned>(r) % static_cast<unsigned>(banks))];
+        }
+        readSum += reads;
+        worstSum += *std::max_element(bankReads.begin(), bankReads.end());
+        for (int b = 0; b < banks; ++b)
+            bankLoad[static_cast<std::size_t>(b)] +=
+                bankReads[static_cast<std::size_t>(b)];
+
+        if (inst.dst != kNoReg) {
+            // Distance until the destination is next touched.
+            std::size_t dist = code.size() - i;
+            for (std::size_t j = i + 1; j < code.size(); ++j) {
+                const Instruction &later = code[j];
+                bool touches = later.dst == inst.dst;
+                for (RegIndex r : later.srcs)
+                    touches = touches || r == inst.dst;
+                if (touches) {
+                    dist = j - i;
+                    break;
+                }
+            }
+            distSum += static_cast<double>(
+                std::min<std::size_t>(dist, 16));
+        } else {
+            distSum += 16;   // no dependent consumer
+        }
+    }
+    if (p.computeInsts > 0) {
+        p.readsPerInst = readSum / p.computeInsts;
+        p.worstBankReads = worstSum / p.computeInsts;
+        p.maxBankLoad = *std::max_element(bankLoad.begin(),
+                                          bankLoad.end())
+            / p.computeInsts;
+        p.depDistance = distSum / p.computeInsts;
+    }
+    return p;
+}
+
+double
+siliconOracleCycles(const GpuConfig &cfg, const KernelDesc &kernel,
+                    int siliconCus)
+{
+    // Aggregate stream profile across warp slots (weighted by shape).
+    ProgramProfile agg;
+    double totalInsts = 0;
+    for (int w = 0; w < kernel.warpsPerBlock; ++w) {
+        ProgramProfile p = analyzeProgram(kernel.programOf(w),
+                                          cfg.banksPerCluster());
+        agg.readsPerInst += p.readsPerInst * p.computeInsts;
+        agg.worstBankReads += p.worstBankReads * p.computeInsts;
+        agg.maxBankLoad += p.maxBankLoad * p.computeInsts;
+        agg.depDistance += p.depDistance * p.computeInsts;
+        totalInsts += p.computeInsts;
+    }
+    scsim_assert(totalInsts > 0, "oracle on an empty kernel");
+    agg.readsPerInst /= totalInsts;
+    agg.worstBankReads /= totalInsts;
+    agg.maxBankLoad /= totalInsts;
+    agg.depDistance /= totalInsts;
+
+    // Resident warps per scheduler at steady state.
+    int blocksPerSm = std::min(
+        { cfg.maxBlocksPerSm,
+          cfg.maxWarpsPerSm / kernel.warpsPerBlock,
+          (kernel.numBlocks + cfg.numSms - 1) / cfg.numSms });
+    blocksPerSm = std::max(blocksPerSm, 1);
+    double warpsPerSched =
+        static_cast<double>(blocksPerSm * kernel.warpsPerBlock)
+        / static_cast<double>(cfg.schedulersPerSm);
+
+    // Per-scheduler issue throughput bounds (warp instructions/cycle).
+    double collect = std::max(agg.worstBankReads, 1.0);
+    double banksPerSched = static_cast<double>(cfg.rfBanksPerSm)
+        / static_cast<double>(cfg.schedulersPerSm);
+    double issueBound = static_cast<double>(cfg.issueWidthPerScheduler);
+    double iiBound = static_cast<double>(cfg.spPipesPerScheduler)
+        / static_cast<double>(cfg.spInitiation);
+    double bankBound = agg.readsPerInst > 0
+        ? banksPerSched / agg.readsPerInst
+        : issueBound;
+    // A bank grants one read per cycle: the busiest bank's stream-wide
+    // load is a hard serialization bound.
+    double serialBound = agg.maxBankLoad > 0
+        ? 1.0 / agg.maxBankLoad
+        : issueBound;
+    // Silicon's collector: each instruction holds a CU for alloc (1)
+    // plus its worst-bank grant cycles, and with 2 CUs in flight the
+    // second CU's conflicts stretch residency further.
+    double residency = 1.0 + collect
+        + 0.5 * (collect - 1.0) * (siliconCus > 1 ? 1.0 : 0.0);
+    double cuBound = static_cast<double>(siliconCus)
+        / std::max(residency, 1.0);
+    double interval = collect + 2.0 + static_cast<double>(cfg.spLatency);
+    double latBound = warpsPerSched * agg.depDistance / interval;
+
+    double throughput = std::min({ issueBound, iiBound, bankBound,
+                                   serialBound, cuBound, latBound });
+    scsim_assert(throughput > 0, "degenerate oracle throughput");
+
+    // Work per SM, spread over the SM's schedulers.
+    double blocksOnBusiestSm = std::ceil(
+        static_cast<double>(kernel.numBlocks)
+        / static_cast<double>(cfg.numSms));
+    double instsPerSched = blocksOnBusiestSm * totalInsts
+        / static_cast<double>(cfg.schedulersPerSm);
+
+    // Waves of block residency serialize.
+    double waves = std::ceil(blocksOnBusiestSm
+                             / static_cast<double>(blocksPerSm));
+    double drain = waves * (interval + 30.0);
+    return instsPerSched / throughput + drain;
+}
+
+} // namespace scsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Collector-unit count validation (Section V).
+ *
+ * The paper correlates Accel-Sim against silicon cycle counts of seven
+ * register-bank-conflict microbenchmarks to pick CUs/sub-core, finding
+ * 2 CUs minimizes mean absolute error.  Lacking silicon, we substitute
+ * an *analytical oracle*: a closed-form first-order throughput model
+ * of a sub-core whose collector has the silicon's 2 CUs.  The oracle
+ * analyzes the generated instruction stream itself (operand counts,
+ * per-bank pressure, dependence distance) so it is independent of the
+ * cycle-level simulator's scheduling decisions.
+ */
+
+#ifndef SCSIM_WORKLOADS_CALIBRATION_HH
+#define SCSIM_WORKLOADS_CALIBRATION_HH
+
+#include "config/gpu_config.hh"
+#include "trace/kernel.hh"
+
+namespace scsim {
+
+/** First-order characteristics of a warp instruction stream. */
+struct ProgramProfile
+{
+    double computeInsts = 0;      //!< non-BAR/EXIT instructions
+    double readsPerInst = 0;      //!< distinct source registers
+    double worstBankReads = 0;    //!< per-inst max reads on one bank
+    double maxBankLoad = 0;       //!< stream-wide reads/inst, busiest bank
+    double depDistance = 1;       //!< mean dst-reuse distance (ILP)
+};
+
+/**
+ * Analyze @p prog against a cluster with @p banks register banks
+ * (bank = (reg + warpSlot) % banks; the per-warp pattern is slot
+ * independent for the worst-bank metric).
+ */
+ProgramProfile analyzeProgram(const WarpProgram &prog, int banks);
+
+/**
+ * Analytical cycle count for @p kernel on silicon-like hardware with
+ * @p siliconCus collector units per sub-core (2 for Volta).
+ */
+double siliconOracleCycles(const GpuConfig &cfg, const KernelDesc &kernel,
+                           int siliconCus = 2);
+
+} // namespace scsim
+
+#endif // SCSIM_WORKLOADS_CALIBRATION_HH

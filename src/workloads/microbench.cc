@@ -1,0 +1,189 @@
+#include "workloads/microbench.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+const char *
+toString(FmaLayout layout)
+{
+    switch (layout) {
+      case FmaLayout::Baseline:   return "baseline";
+      case FmaLayout::Balanced:   return "balanced";
+      case FmaLayout::Unbalanced: return "unbalanced";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Dependent-FMA compute shape: four accumulator chains per thread
+ * (the standard FLOPs-microbenchmark unrolling), ending at the block
+ * barrier.
+ */
+WarpProgram
+fmaComputeShape(int fmaPerThread)
+{
+    WarpProgram prog;
+    prog.code.reserve(static_cast<std::size_t>(fmaPerThread) + 2);
+    // r0..r3: accumulators; r4, r5: multiplicands.
+    for (int i = 0; i < fmaPerThread; ++i) {
+        RegIndex acc = static_cast<RegIndex>(i % 4);
+        prog.code.push_back(Instruction::alu(Opcode::FMA, acc, acc, 4, 5));
+    }
+    prog.code.push_back(Instruction::barrier());
+    prog.code.push_back(Instruction::exit());
+    return prog;
+}
+
+/** Empty-warp shape: wait at the barrier, then exit (Fig 4 green). */
+WarpProgram
+emptyShape()
+{
+    WarpProgram prog;
+    prog.code.push_back(Instruction::barrier());
+    prog.code.push_back(Instruction::exit());
+    return prog;
+}
+
+} // namespace
+
+KernelDesc
+makeFmaMicro(FmaLayout layout, int fmaPerThread, int numBlocks)
+{
+    KernelDesc k;
+    k.name = std::string("fma-") + toString(layout);
+    k.numBlocks = numBlocks;
+    k.regsPerThread = 8;
+    k.shapes.push_back(fmaComputeShape(fmaPerThread));   // shape 0
+    k.shapes.push_back(emptyShape());                    // shape 1
+
+    switch (layout) {
+      case FmaLayout::Baseline:
+        k.warpsPerBlock = 8;
+        k.shapeOfWarp.assign(8, 0);
+        break;
+      case FmaLayout::Balanced:
+        // Compute warps first: round-robin puts two on each sub-core.
+        k.warpsPerBlock = 32;
+        k.shapeOfWarp.assign(32, 1);
+        for (int w = 0; w < 8; ++w)
+            k.shapeOfWarp[static_cast<std::size_t>(w)] = 0;
+        break;
+      case FmaLayout::Unbalanced:
+        // Compute warps every 4th slot: round-robin piles all eight
+        // onto sub-core 0 (Fig 4's red column).
+        k.warpsPerBlock = 32;
+        k.shapeOfWarp.assign(32, 1);
+        for (int w = 0; w < 32; w += 4)
+            k.shapeOfWarp[static_cast<std::size_t>(w)] = 0;
+        break;
+    }
+    k.validate();
+    return k;
+}
+
+KernelDesc
+makeImbalanceMicro(double imbalance, int baseFma, int numBlocks)
+{
+    scsim_assert(imbalance >= 1.0, "imbalance factor must be >= 1");
+    KernelDesc k;
+    k.name = "fma-imbalance";
+    k.numBlocks = numBlocks;
+    k.warpsPerBlock = 32;
+    k.regsPerThread = 8;
+    int longFma = static_cast<int>(
+        static_cast<double>(baseFma) * imbalance + 0.5);
+    k.shapes.push_back(fmaComputeShape(longFma));   // shape 0: long
+    k.shapes.push_back(fmaComputeShape(baseFma));   // shape 1: short
+    k.shapeOfWarp.assign(32, 1);
+    for (int w = 0; w < 32; w += 4)
+        k.shapeOfWarp[static_cast<std::size_t>(w)] = 0;
+    k.validate();
+    return k;
+}
+
+KernelDesc
+makeConflictMicro(int variant, int instsPerWarp, int numBlocks)
+{
+    scsim_assert(variant >= 0 && variant < kNumConflictMicros,
+                 "conflict micro variant out of range");
+    WarpProgram prog;
+    prog.code.reserve(static_cast<std::size_t>(instsPerWarp) + 2);
+
+    auto evenAcc = [](int i, int n) {
+        return static_cast<RegIndex>(2 * (i % n));   // r0, r2, ...
+    };
+
+    for (int i = 0; i < instsPerWarp; ++i) {
+        Instruction inst;
+        switch (variant) {
+          case 0: {
+            // 3-src FMA, all operands even: one bank soaks every read.
+            RegIndex acc = evenAcc(i, 4);            // r0,r2,r4,r6
+            inst = Instruction::alu(Opcode::FMA, acc, acc, 8, 10);
+            break;
+          }
+          case 1: {
+            // 3-src FMA, operands spread over both banks.
+            RegIndex acc = static_cast<RegIndex>(i % 4);  // r0..r3
+            inst = Instruction::alu(Opcode::FMA, acc, acc, 4, 5);
+            break;
+          }
+          case 2: {
+            // 2-src FMUL, both operands in the same bank.
+            RegIndex acc = evenAcc(i, 4);
+            inst = Instruction::alu(Opcode::FMUL, acc, acc, 8);
+            break;
+          }
+          case 3: {
+            // 2-src FADD, spread, eight independent chains.
+            RegIndex acc = static_cast<RegIndex>(i % 8);
+            RegIndex other = static_cast<RegIndex>(8 + (i % 2));
+            inst = Instruction::alu(Opcode::FADD, acc, acc, other);
+            break;
+          }
+          case 4: {
+            // Single serial chain: latency bound, conflicts moot.
+            inst = Instruction::alu(Opcode::FMA, 0, 0, 1, 2);
+            break;
+          }
+          case 5: {
+            // Alternating FMA / IADD sharing operand registers.
+            if (i % 2 == 0)
+                inst = Instruction::alu(Opcode::FMA, 0, 0, 4, 6);
+            else
+                inst = Instruction::alu(Opcode::IADD, 1, 1, 5);
+            break;
+          }
+          case 6: {
+            // Wide window, pseudo-random operand registers.
+            RegIndex acc = static_cast<RegIndex>(i % 6);
+            RegIndex s1 = static_cast<RegIndex>(8 + (i * 7 + 3) % 24);
+            RegIndex s2 = static_cast<RegIndex>(8 + (i * 13 + 5) % 24);
+            inst = Instruction::alu(Opcode::FMA, acc, acc, s1, s2);
+            break;
+          }
+          default:
+            scsim_panic("unreachable");
+        }
+        prog.code.push_back(inst);
+    }
+    prog.code.push_back(Instruction::barrier());
+    prog.code.push_back(Instruction::exit());
+
+    KernelDesc k;
+    k.name = "conflict-micro-" + std::to_string(variant);
+    k.numBlocks = numBlocks;
+    k.warpsPerBlock = 8;
+    k.regsPerThread = 40;
+    k.shapes.push_back(std::move(prog));
+    k.shapeOfWarp.assign(8, 0);
+    k.validate();
+    return k;
+}
+
+} // namespace scsim

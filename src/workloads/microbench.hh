@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware-correlation microbenchmarks from Sections III and V.
+ *
+ * The FMA microbenchmark family reproduces Fig 4's thread-block
+ * layouts: 8 compute warps running dependent FMA chains (two
+ * accumulators per thread, as a FLOPs microbenchmark would unroll),
+ * optionally padded with 24 "empty" warps that only hit the block
+ * barrier and exit.  Under round-robin sub-core assignment the
+ * *unbalanced* layout puts every compute warp on the same sub-core.
+ *
+ * The bank-conflict micros (seven variants) stress the operand
+ * collector with different operand/bank patterns and are used to
+ * validate the collector-unit count against the analytical "silicon"
+ * oracle (Section V's CU-count calibration).
+ */
+
+#ifndef SCSIM_WORKLOADS_MICROBENCH_HH
+#define SCSIM_WORKLOADS_MICROBENCH_HH
+
+#include "trace/kernel.hh"
+
+namespace scsim {
+
+/** Fig 4 thread-block layouts. */
+enum class FmaLayout
+{
+    Baseline,    //!< 8 compute warps, no padding
+    Balanced,    //!< compute warps 0..7 (+24 empty): 2 per sub-core
+    Unbalanced,  //!< compute warps 0,4,..,28 (+24 empty): all on one
+};
+
+const char *toString(FmaLayout layout);
+
+/**
+ * The Fig 3/4 FMA microbenchmark.
+ * @param layout        block layout
+ * @param fmaPerThread  dependent FMA count per thread (paper: 4096)
+ * @param numBlocks     grid size
+ */
+KernelDesc makeFmaMicro(FmaLayout layout, int fmaPerThread = 4096,
+                        int numBlocks = 16);
+
+/**
+ * Fig 8 workload: 32 warps per block, every 4th warp executes
+ * @p imbalance times the FMA work of the others (the TPC-H-like
+ * "one long-running warp every four" shape).
+ */
+KernelDesc makeImbalanceMicro(double imbalance, int baseFma = 512,
+                              int numBlocks = 16);
+
+/** Number of bank-conflict calibration variants. */
+inline constexpr int kNumConflictMicros = 7;
+
+/**
+ * Bank-conflict microbenchmark @p variant in [0, kNumConflictMicros):
+ *  0: 3-source FMA, all operands in one bank (worst case)
+ *  1: 3-source FMA, operands spread across banks
+ *  2: 2-source FMUL, same bank
+ *  3: 2-source FADD, spread, high ILP
+ *  4: serial dependent chain (latency bound)
+ *  5: mixed FMA/IADD with shared operands
+ *  6: wide register window, pseudo-random operands
+ */
+KernelDesc makeConflictMicro(int variant, int instsPerWarp = 2048,
+                             int numBlocks = 8);
+
+} // namespace scsim
+
+#endif // SCSIM_WORKLOADS_MICROBENCH_HH

@@ -1,0 +1,200 @@
+/** @file Tests for sub-core assignment policies and the hash engine. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/assign.hh"
+
+namespace scsim {
+namespace {
+
+TEST(RoundRobin, CyclesThroughSubcores)
+{
+    RoundRobinAssigner rr(4);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rr.nextSubcore(), i % 4);
+}
+
+TEST(Srr, MatchesEquationOne)
+{
+    // subcore = (W + floor(W/N)) mod N, N = 4.
+    SrrAssigner srr(4);
+    for (std::uint64_t w = 0; w < 64; ++w)
+        EXPECT_EQ(srr.nextSubcore(),
+                  static_cast<int>((w + w / 4) % 4)) << "W=" << w;
+}
+
+TEST(Srr, SpreadsOneInFourPattern)
+{
+    // Long warps at W = 0,4,8,... must land on distinct sub-cores.
+    SrrAssigner srr(4);
+    std::vector<int> longWarpTargets;
+    for (std::uint64_t w = 0; w < 16; ++w) {
+        int sub = srr.nextSubcore();
+        if (w % 4 == 0)
+            longWarpTargets.push_back(sub);
+    }
+    std::sort(longWarpTargets.begin(), longWarpTargets.end());
+    EXPECT_EQ(longWarpTargets, (std::vector<int>{ 0, 1, 2, 3 }));
+}
+
+TEST(Srr, RepeatsEverySixteenWarps)
+{
+    SrrAssigner a(4), b(4);
+    std::vector<int> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.nextSubcore());
+    for (int i = 0; i < 16; ++i)
+        a.nextSubcore();   // consume a second period
+    for (int i = 0; i < 16; ++i)
+        b.nextSubcore();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(b.nextSubcore(), first[static_cast<std::size_t>(i)]);
+}
+
+/** Property: Shuffle never lets per-sub-core counts differ by > 1. */
+class ShuffleBalance
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{};
+
+TEST_P(ShuffleBalance, CountsWithinOne)
+{
+    auto [warps, seed] = GetParam();
+    ShuffleAssigner shuffle(4, seed);
+    std::map<int, int> counts;
+    for (int i = 0; i < warps; ++i)
+        ++counts[shuffle.nextSubcore()];
+    int lo = warps, hi = 0;
+    for (int s = 0; s < 4; ++s) {
+        lo = std::min(lo, counts[s]);
+        hi = std::max(hi, counts[s]);
+    }
+    EXPECT_LE(hi - lo, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WarpsAndSeeds, ShuffleBalance,
+    ::testing::Combine(::testing::Values(3, 8, 13, 32, 64, 257),
+                       ::testing::Values(1u, 7u, 42u, 1234u)));
+
+TEST(Shuffle, DeterministicForSeed)
+{
+    ShuffleAssigner a(4, 99), b(4, 99);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.nextSubcore(), b.nextSubcore());
+}
+
+TEST(Shuffle, ActuallyRandomizes)
+{
+    ShuffleAssigner s(4, 5);
+    bool differsFromRr = false;
+    for (int i = 0; i < 64; ++i)
+        differsFromRr = differsFromRr || (s.nextSubcore() != i % 4);
+    EXPECT_TRUE(differsFromRr);
+}
+
+TEST(Shuffle, ResetReplaysSequence)
+{
+    ShuffleAssigner s(4, 21);
+    std::vector<int> first;
+    for (int i = 0; i < 20; ++i)
+        first.push_back(s.nextSubcore());
+    s.reset();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(s.nextSubcore(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(HashTable, EncodeDecodeRoundTrip)
+{
+    const int pattern[4] = { 2, 0, 3, 1 };
+    HashTableAssigner h(4, 4);
+    h.setEntry(0, HashTableAssigner::encodeEntry(pattern));
+    for (int j = 0; j < 4; ++j)
+        EXPECT_EQ(h.nextSubcore(), pattern[j]);
+}
+
+TEST(HashTable, SrrProgramMatchesFunctionalSrr)
+{
+    HashTableAssigner h(4, 4);
+    h.programSrr();
+    SrrAssigner srr(4);
+    for (int w = 0; w < 128; ++w)
+        EXPECT_EQ(h.nextSubcore(), srr.nextSubcore()) << "W=" << w;
+}
+
+TEST(HashTable, SixteenEntrySrrAlsoMatches)
+{
+    HashTableAssigner h(4, 16);
+    h.programSrr();
+    SrrAssigner srr(4);
+    for (int w = 0; w < 256; ++w)
+        EXPECT_EQ(h.nextSubcore(), srr.nextSubcore());
+}
+
+TEST(HashTable, WrapsAfterTableEnd)
+{
+    HashTableAssigner h(4, 4);
+    h.programSrr();
+    std::vector<int> first;
+    for (int w = 0; w < 16; ++w)
+        first.push_back(h.nextSubcore());
+    for (int w = 0; w < 16; ++w)
+        EXPECT_EQ(h.nextSubcore(), first[static_cast<std::size_t>(w)]);
+}
+
+TEST(HashTable, ShuffleProgramBalancedPerGroup)
+{
+    HashTableAssigner h(4, 16);
+    Rng rng(77);
+    h.programShuffle(rng);
+    for (int g = 0; g < 16; ++g) {
+        std::vector<int> group;
+        for (int j = 0; j < 4; ++j)
+            group.push_back(h.nextSubcore());
+        std::sort(group.begin(), group.end());
+        EXPECT_EQ(group, (std::vector<int>{ 0, 1, 2, 3 }))
+            << "group " << g;
+    }
+}
+
+TEST(HashTableDeath, RejectsNonFourSubcores)
+{
+    EXPECT_DEATH(HashTableAssigner(2, 4), "4:1 mux");
+}
+
+TEST(HashTableDeath, RejectsOddTableSize)
+{
+    EXPECT_DEATH(HashTableAssigner(4, 8), "4 or 16");
+}
+
+TEST(Factory, BuildsEveryPolicy)
+{
+    for (AssignPolicy p : { AssignPolicy::RoundRobin, AssignPolicy::SRR,
+                            AssignPolicy::Shuffle, AssignPolicy::HashSRR,
+                            AssignPolicy::HashShuffle }) {
+        auto a = makeAssigner(p, 4, 4, 11);
+        ASSERT_NE(a, nullptr);
+        int sub = a->nextSubcore();
+        EXPECT_GE(sub, 0);
+        EXPECT_LT(sub, 4);
+    }
+}
+
+TEST(Factory, HashSrrEqualsSrrThroughFactory)
+{
+    auto h = makeAssigner(AssignPolicy::HashSRR, 4, 4, 0);
+    auto s = makeAssigner(AssignPolicy::SRR, 4, 4, 0);
+    for (int w = 0; w < 64; ++w)
+        EXPECT_EQ(h->nextSubcore(), s->nextSubcore());
+}
+
+TEST(Factory, MonolithicUsesSingleTarget)
+{
+    auto a = makeAssigner(AssignPolicy::RoundRobin, 1, 4, 0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a->nextSubcore(), 0);
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,117 @@
+/** @file Unit tests driving the GPU-level block scheduler directly. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/block_scheduler.hh"
+#include "workloads/microbench.hh"
+
+namespace scsim {
+namespace {
+
+class BlockSchedulerTest : public ::testing::Test
+{
+  protected:
+    BlockSchedulerTest()
+    {
+        cfg_ = GpuConfig::volta();
+        cfg_.numSms = 2;
+        cfg_.validate();
+        mem_ = std::make_unique<MemSystem>(cfg_);
+        stats_.issuePerScheduler.assign(
+            static_cast<std::size_t>(cfg_.numSms),
+            std::vector<std::uint64_t>(
+                static_cast<std::size_t>(cfg_.schedulersPerSm), 0));
+        for (int i = 0; i < cfg_.numSms; ++i)
+            sms_.push_back(std::make_unique<SmCore>(cfg_, i, *mem_,
+                                                    stats_));
+        sched_ = std::make_unique<BlockScheduler>(sms_);
+    }
+
+    int
+    residentBlocks() const
+    {
+        int n = 0;
+        for (const auto &sm : sms_)
+            n += sm->activeBlocks();
+        return n;
+    }
+
+    GpuConfig cfg_;
+    std::unique_ptr<MemSystem> mem_;
+    SimStats stats_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+    std::unique_ptr<BlockScheduler> sched_;
+};
+
+TEST_F(BlockSchedulerTest, StartsEmpty)
+{
+    EXPECT_FALSE(sched_->pending());
+    EXPECT_FALSE(sched_->anyCanAccept());
+    EXPECT_EQ(sched_->activeKernels(), 0);
+}
+
+TEST_F(BlockSchedulerTest, DispatchesOnePerSmPerCycle)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 10);
+    sched_->launch(k);
+    EXPECT_TRUE(sched_->pending());
+    sched_->dispatch(0);
+    EXPECT_EQ(residentBlocks(), 2);   // one per SM
+    sched_->dispatch(1);
+    EXPECT_EQ(residentBlocks(), 4);
+}
+
+TEST_F(BlockSchedulerTest, StopsWhenSmsFill)
+{
+    // 32-warp blocks: each SM holds two.
+    KernelDesc k = makeFmaMicro(FmaLayout::Balanced, 64, 10);
+    sched_->launch(k);
+    for (Cycle c = 0; c < 10; ++c)
+        sched_->dispatch(c);
+    EXPECT_EQ(residentBlocks(), 4);
+    EXPECT_TRUE(sched_->pending());
+    EXPECT_FALSE(sched_->anyCanAccept());
+}
+
+TEST_F(BlockSchedulerTest, SpreadsBlocksAcrossSms)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 6);
+    sched_->launch(k);
+    for (Cycle c = 0; c < 3; ++c)
+        sched_->dispatch(c);
+    EXPECT_EQ(sms_[0]->activeBlocks(), 3);
+    EXPECT_EQ(sms_[1]->activeBlocks(), 3);
+    EXPECT_FALSE(sched_->pending());
+}
+
+TEST_F(BlockSchedulerTest, InterleavesConcurrentKernels)
+{
+    KernelDesc a = makeFmaMicro(FmaLayout::Baseline, 64, 4);
+    a.name = "a";
+    KernelDesc b = makeFmaMicro(FmaLayout::Baseline, 64, 4);
+    b.name = "b";
+    sched_->launch(a);
+    sched_->launch(b);
+    EXPECT_EQ(sched_->activeKernels(), 2);
+    for (Cycle c = 0; c < 4; ++c)
+        sched_->dispatch(c);
+    EXPECT_EQ(residentBlocks(), 8);
+    EXPECT_FALSE(sched_->pending());
+    // Both SMs should hold blocks from both kernels (interleaving).
+    // Verified indirectly: all 8 blocks fit although a alone has 4.
+}
+
+TEST_F(BlockSchedulerTest, ResetForgetsQueues)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 10);
+    sched_->launch(k);
+    sched_->dispatch(0);
+    sched_->reset();
+    EXPECT_FALSE(sched_->pending());
+    EXPECT_EQ(sched_->activeKernels(), 0);
+    // Residency is untouched by reset (blocks drain on their own).
+    EXPECT_EQ(residentBlocks(), 2);
+}
+
+} // namespace
+} // namespace scsim

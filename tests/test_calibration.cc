@@ -1,0 +1,126 @@
+/** @file Tests for the program analyzer and silicon-oracle model. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_sim.hh"
+#include "workloads/calibration.hh"
+#include "workloads/microbench.hh"
+
+namespace scsim {
+namespace {
+
+WarpProgram
+wrap(std::vector<Instruction> body)
+{
+    WarpProgram p;
+    p.code = std::move(body);
+    p.code.push_back(Instruction::barrier());
+    p.code.push_back(Instruction::exit());
+    return p;
+}
+
+TEST(AnalyzeProgram, CountsDistinctReads)
+{
+    WarpProgram p = wrap({
+        Instruction::alu(Opcode::FMA, 0, 0, 1, 2),   // 3 reads
+        Instruction::alu(Opcode::FMUL, 1, 3, 3),     // dup -> 1 read
+    });
+    ProgramProfile prof = analyzeProgram(p, 2);
+    EXPECT_DOUBLE_EQ(prof.computeInsts, 2.0);
+    EXPECT_DOUBLE_EQ(prof.readsPerInst, 2.0);
+}
+
+TEST(AnalyzeProgram, WorstBankReads)
+{
+    // r0, r2, r4 all in bank 0 (2 banks): per-inst worst = 3.
+    WarpProgram p = wrap({
+        Instruction::alu(Opcode::FMA, 0, 0, 2, 4),
+    });
+    ProgramProfile prof = analyzeProgram(p, 2);
+    EXPECT_DOUBLE_EQ(prof.worstBankReads, 3.0);
+    EXPECT_DOUBLE_EQ(prof.maxBankLoad, 3.0);
+    // With 8 banks they spread out.
+    ProgramProfile wide = analyzeProgram(p, 8);
+    EXPECT_DOUBLE_EQ(wide.worstBankReads, 1.0);
+}
+
+TEST(AnalyzeProgram, MaxBankLoadAveragesOverStream)
+{
+    // Alternating banks: each bank loaded every other instruction.
+    WarpProgram p = wrap({
+        Instruction::alu(Opcode::IADD, 0, 2),   // bank 0
+        Instruction::alu(Opcode::IADD, 1, 3),   // bank 1
+        Instruction::alu(Opcode::IADD, 0, 4),   // bank 0
+        Instruction::alu(Opcode::IADD, 1, 5),   // bank 1
+    });
+    ProgramProfile prof = analyzeProgram(p, 2);
+    EXPECT_DOUBLE_EQ(prof.maxBankLoad, 0.5);
+}
+
+TEST(AnalyzeProgram, DependenceDistance)
+{
+    // Serial chain on r0: distance 1.
+    WarpProgram serial = wrap({
+        Instruction::alu(Opcode::FMA, 0, 0, 1, 2),
+        Instruction::alu(Opcode::FMA, 0, 0, 1, 2),
+        Instruction::alu(Opcode::FMA, 0, 0, 1, 2),
+    });
+    EXPECT_LE(analyzeProgram(serial, 2).depDistance, 2.0);
+
+    // Four interleaved chains: distance ~4.
+    std::vector<Instruction> body;
+    for (int i = 0; i < 16; ++i)
+        body.push_back(Instruction::alu(
+            Opcode::FMA, static_cast<RegIndex>(i % 4),
+            static_cast<RegIndex>(i % 4), 8, 9));
+    EXPECT_GT(analyzeProgram(wrap(std::move(body)), 2).depDistance,
+              3.0);
+}
+
+TEST(AnalyzeProgram, IgnoresBarrierAndExit)
+{
+    WarpProgram p = wrap({});
+    ProgramProfile prof = analyzeProgram(p, 2);
+    EXPECT_DOUBLE_EQ(prof.computeInsts, 0.0);
+}
+
+TEST(Oracle, ScalesWithWork)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    KernelDesc small = makeConflictMicro(1, 256, 8);
+    KernelDesc big = makeConflictMicro(1, 1024, 8);
+    double a = siliconOracleCycles(cfg, small);
+    double b = siliconOracleCycles(cfg, big);
+    EXPECT_GT(b, 3.0 * a);
+    EXPECT_LT(b, 5.0 * a);
+}
+
+TEST(Oracle, ConflictHeavyCostsMore)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    // Variant 0 serializes on one bank; variant 1 spreads.
+    double sameBank = siliconOracleCycles(
+        cfg, makeConflictMicro(0, 512, 8));
+    double spread = siliconOracleCycles(
+        cfg, makeConflictMicro(1, 512, 8));
+    EXPECT_GT(sameBank, 1.3 * spread);
+}
+
+TEST(Oracle, TracksSimulatorWithinTolerance)
+{
+    // The whole point of the oracle: it should land within tens of
+    // percent of the cycle-level model at the silicon CU count.
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    for (int v = 0; v < kNumConflictMicros; ++v) {
+        KernelDesc k = makeConflictMicro(v, 512, 8);
+        double oracle = siliconOracleCycles(cfg, k, 2);
+        double sim = static_cast<double>(simulate(cfg, k).cycles);
+        EXPECT_LT(std::abs(sim - oracle) / oracle, 0.35) << v;
+    }
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,169 @@
+/** @file Unit tests for the common substrate: RNG, hashing, logging. */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace scsim {
+namespace {
+
+TEST(SplitMix, DeterministicSequence)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(SplitMix, AdvancesState)
+{
+    std::uint64_t s = 7;
+    std::uint64_t a = splitmix64(s);
+    std::uint64_t b = splitmix64(s);
+    EXPECT_NE(a, b);
+}
+
+TEST(HashString, StableAndDistinct)
+{
+    EXPECT_EQ(hashString("pb-mriq"), hashString("pb-mriq"));
+    EXPECT_NE(hashString("pb-mriq"), hashString("pb-mrig"));
+    EXPECT_NE(hashString(""), hashString("a"));
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextRespectsBound)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : { 1ULL, 2ULL, 3ULL, 10ULL, 1000ULL }) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next(bound), bound);
+    }
+}
+
+TEST(Rng, NextCoversRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.next(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(17);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 500; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo = sawLo || v == -3;
+        sawHi = sawHi || v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceEdges)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    double p = static_cast<double>(hits) / n;
+    EXPECT_NEAR(p, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v { 0, 1, 2, 3, 4, 5, 6, 7 };
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles)
+{
+    Rng rng(37);
+    std::vector<int> v(32);
+    for (int i = 0; i < 32; ++i)
+        v[static_cast<std::size_t>(i)] = i;
+    auto orig = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, orig);
+}
+
+TEST(Logging, FormatBasics)
+{
+    EXPECT_EQ(detail::format("x=%d", 42), "x=42");
+    EXPECT_EQ(detail::format("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(detail::format("plain"), "plain");
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(scsim_fatal("boom %d", 1),
+                ::testing::ExitedWithCode(1), "boom 1");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(scsim_panic("bug"), "bug");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(scsim_assert(1 == 2, "math broke"), "math broke");
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,167 @@
+/** @file Unit tests for GpuConfig: Table II defaults, presets, parsing. */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "config/gpu_config.hh"
+
+namespace scsim {
+namespace {
+
+TEST(GpuConfig, TableIiDefaults)
+{
+    GpuConfig c = GpuConfig::volta();
+    EXPECT_EQ(c.numSms, 80);
+    EXPECT_EQ(c.subCores, 4);
+    EXPECT_EQ(c.maxWarpsPerSm, 64);
+    EXPECT_EQ(c.banksPerCluster(), 2);
+    EXPECT_EQ(c.cusPerCluster(), 2);
+    EXPECT_EQ(c.regFileBytesPerCluster(), 64u * 1024u);
+    EXPECT_EQ(c.l1Bytes, 128u * 1024u);
+    EXPECT_EQ(c.l2Bytes, 6u * 1024u * 1024u);
+    EXPECT_EQ(c.l2Ways, 24);
+    EXPECT_EQ(c.scheduler, SchedulerPolicy::GTO);
+    EXPECT_EQ(c.assign, AssignPolicy::RoundRobin);
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(GpuConfig, FullyConnectedSharesTotals)
+{
+    GpuConfig p = GpuConfig::volta();
+    GpuConfig f = GpuConfig::voltaFullyConnected();
+    EXPECT_EQ(f.subCores, 1);
+    EXPECT_EQ(f.rfBanksPerSm, p.rfBanksPerSm);
+    EXPECT_EQ(f.collectorUnitsPerSm, p.collectorUnitsPerSm);
+    EXPECT_EQ(f.banksPerCluster(), 8);
+    EXPECT_EQ(f.cusPerCluster(), 8);
+    EXPECT_EQ(f.schedulersPerCluster(), 4);
+    EXPECT_EQ(f.regFileBytesPerCluster(), 256u * 1024u);
+}
+
+TEST(GpuConfig, KeplerLikeIsMonolithicDualIssue)
+{
+    GpuConfig k = GpuConfig::keplerLike();
+    EXPECT_EQ(k.subCores, 1);
+    EXPECT_EQ(k.issueWidthPerScheduler, 2);
+    EXPECT_GT(k.spLatency, GpuConfig::volta().spLatency);
+    EXPECT_NO_FATAL_FAILURE(k.validate());
+}
+
+TEST(GpuConfig, SetParsesNumbersAndEnums)
+{
+    GpuConfig c;
+    c.set("numSms", "12");
+    EXPECT_EQ(c.numSms, 12);
+    c.set("scheduler", "RBA");
+    EXPECT_EQ(c.scheduler, SchedulerPolicy::RBA);
+    c.set("assign", "HashShuffle");
+    EXPECT_EQ(c.assign, AssignPolicy::HashShuffle);
+    c.set("bankStealing", "true");
+    EXPECT_TRUE(c.bankStealing);
+    c.set("bankStealing", "0");
+    EXPECT_FALSE(c.bankStealing);
+    c.set("l2SectorsPerCyclePerSm", "1.25");
+    EXPECT_DOUBLE_EQ(c.l2SectorsPerCyclePerSm, 1.25);
+}
+
+TEST(GpuConfigDeath, SetRejectsUnknownKey)
+{
+    GpuConfig c;
+    EXPECT_EXIT(c.set("warpSpeed", "9"),
+                ::testing::ExitedWithCode(1), "unknown configuration");
+}
+
+TEST(GpuConfigDeath, SetRejectsGarbageValue)
+{
+    GpuConfig c;
+    EXPECT_EXIT(c.set("numSms", "many"),
+                ::testing::ExitedWithCode(1), "cannot parse");
+    EXPECT_EXIT(c.set("scheduler", "FIFO"),
+                ::testing::ExitedWithCode(1), "unknown scheduler");
+    EXPECT_EXIT(c.set("bankStealing", "maybe"),
+                ::testing::ExitedWithCode(1), "cannot parse bool");
+}
+
+TEST(GpuConfigDeath, ValidateCatchesIndivisibleBanks)
+{
+    GpuConfig c;
+    c.rfBanksPerSm = 6;   // not divisible by 4 sub-cores
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "not divisible");
+}
+
+TEST(GpuConfigDeath, ValidateCatchesBadHashTable)
+{
+    GpuConfig c;
+    c.hashTableEntries = 8;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "hashTableEntries");
+}
+
+TEST(GpuConfigDeath, ValidateCatchesTinySchedulerTables)
+{
+    GpuConfig c;
+    c.maxWarpsPerScheduler = 8;   // 4 x 8 < 64
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "cannot hold");
+}
+
+TEST(GpuConfig, LoadFileParsesCommentsAndWhitespace)
+{
+    std::string path = ::testing::TempDir() + "scsim_cfg_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# a comment\n"
+            << "  numSms = 6   # trailing comment\n"
+            << "\n"
+            << "scheduler=RBA\n";
+    }
+    GpuConfig c;
+    c.loadFile(path);
+    EXPECT_EQ(c.numSms, 6);
+    EXPECT_EQ(c.scheduler, SchedulerPolicy::RBA);
+    std::remove(path.c_str());
+}
+
+TEST(GpuConfigDeath, LoadFileMissing)
+{
+    GpuConfig c;
+    EXPECT_EXIT(c.loadFile("/nonexistent/scsim.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(GpuConfig, PolicyNames)
+{
+    EXPECT_STREQ(toString(SchedulerPolicy::RBA), "RBA");
+    EXPECT_STREQ(toString(AssignPolicy::SRR), "SRR");
+    EXPECT_STREQ(toString(AssignPolicy::HashShuffle), "HashShuffle");
+}
+
+/** Every legal sub-core count divides the per-SM resources. */
+class SubCoreSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubCoreSweep, DerivedQuantitiesConsistent)
+{
+    GpuConfig c;
+    c.subCores = GetParam();
+    c.schedulersPerSm = 4;
+    c.rfBanksPerSm = 8;
+    c.collectorUnitsPerSm = 8;
+    if (c.schedulersPerSm % c.subCores)
+        GTEST_SKIP();
+    c.validate();
+    EXPECT_EQ(c.banksPerCluster() * c.subCores, c.rfBanksPerSm);
+    EXPECT_EQ(c.cusPerCluster() * c.subCores, c.collectorUnitsPerSm);
+    EXPECT_EQ(c.schedulersPerCluster() * c.subCores, c.schedulersPerSm);
+    EXPECT_EQ(c.regFileBytesPerCluster()
+                  * static_cast<std::uint32_t>(c.subCores),
+              c.regFileBytesPerSm);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitionings, SubCoreSweep,
+                         ::testing::Values(1, 2, 4));
+
+} // namespace
+} // namespace scsim

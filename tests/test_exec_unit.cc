@@ -1,0 +1,72 @@
+/** @file Tests for execution pipes. */
+
+#include <gtest/gtest.h>
+
+#include "core/exec_unit.hh"
+
+namespace scsim {
+namespace {
+
+TEST(ExecPipe, InitiationIntervalGatesAcceptance)
+{
+    ExecPipe pipe(UnitKind::SP, 2, 4);
+    EXPECT_TRUE(pipe.canAccept(0));
+    pipe.accept(0);
+    EXPECT_FALSE(pipe.canAccept(1));
+    EXPECT_TRUE(pipe.canAccept(2));
+    pipe.accept(2);
+    EXPECT_FALSE(pipe.canAccept(3));
+}
+
+TEST(ExecPipe, ResetFrees)
+{
+    ExecPipe pipe(UnitKind::SFU, 8, 20);
+    pipe.accept(10);
+    pipe.reset();
+    EXPECT_TRUE(pipe.canAccept(0));
+}
+
+TEST(PipeSet, CountsScaleWithSchedulers)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    PipeSet one(cfg, 1), four(cfg, 4);
+    EXPECT_EQ(four.pipes().size(), 4 * one.pipes().size());
+}
+
+TEST(PipeSet, FindFreeByKind)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    PipeSet pipes(cfg, 1);
+    ExecPipe *sp = pipes.findFree(UnitKind::SP, 0);
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->kind(), UnitKind::SP);
+    sp->accept(0);
+    // Only one SP pipe per scheduler in the Volta model.
+    EXPECT_EQ(pipes.findFree(UnitKind::SP, 1), nullptr);
+    EXPECT_NE(pipes.findFree(UnitKind::SFU, 1), nullptr);
+    EXPECT_NE(pipes.findFree(UnitKind::LdSt, 1), nullptr);
+    EXPECT_NE(pipes.findFree(UnitKind::Tensor, 1), nullptr);
+}
+
+TEST(PipeSet, PooledPipesServeBursts)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    PipeSet pipes(cfg, 4);   // fully-connected pool
+    int accepted = 0;
+    while (ExecPipe *p = pipes.findFree(UnitKind::SP, 0)) {
+        p->accept(0);
+        ++accepted;
+    }
+    EXPECT_EQ(accepted, 4);
+}
+
+TEST(PipeSet, LatencyFromConfig)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.spLatency = 9;
+    PipeSet pipes(cfg, 1);
+    EXPECT_EQ(pipes.findFree(UnitKind::SP, 0)->latency(), 9);
+}
+
+} // namespace
+} // namespace scsim

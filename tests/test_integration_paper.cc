@@ -1,0 +1,178 @@
+/** @file Paper-shape integration oracles: the qualitative results the
+ *  reproduction must preserve (see EXPERIMENTS.md for the full
+ *  quantitative comparison). */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_sim.hh"
+#include "workloads/microbench.hh"
+#include "workloads/suite.hh"
+
+namespace scsim {
+namespace {
+
+GpuConfig
+volta(int sms)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = sms;
+    return cfg;
+}
+
+double
+speedupOf(const GpuConfig &base, const GpuConfig &design,
+          const Application &app)
+{
+    return static_cast<double>(simulate(base, app).cycles)
+        / static_cast<double>(simulate(design, app).cycles);
+}
+
+TEST(PaperFig3, UnbalancedFmaIsAboutFourTimesSlower)
+{
+    GpuConfig cfg = volta(2);
+    Cycle base = simulate(cfg, makeFmaMicro(FmaLayout::Baseline, 1024,
+                                            16)).cycles;
+    Cycle bal = simulate(cfg, makeFmaMicro(FmaLayout::Balanced, 1024,
+                                           16)).cycles;
+    Cycle unbal = simulate(cfg, makeFmaMicro(FmaLayout::Unbalanced,
+                                             1024, 16)).cycles;
+    double balRatio = static_cast<double>(bal)
+        / static_cast<double>(base);
+    double unbalRatio = static_cast<double>(unbal)
+        / static_cast<double>(base);
+    EXPECT_NEAR(balRatio, 1.0, 0.05);
+    EXPECT_GT(unbalRatio, 3.2);   // paper: 3.9x on A100
+    EXPECT_LT(unbalRatio, 4.6);
+}
+
+TEST(PaperFig3, KeplerLikeMonolithicIsInsensitive)
+{
+    GpuConfig cfg = GpuConfig::keplerLike();
+    cfg.numSms = 4;
+    Cycle base = simulate(cfg, makeFmaMicro(FmaLayout::Baseline, 2048,
+                                            32)).cycles;
+    Cycle unbal = simulate(cfg, makeFmaMicro(FmaLayout::Unbalanced,
+                                             2048, 32)).cycles;
+    double ratio = static_cast<double>(unbal)
+        / static_cast<double>(base);
+    EXPECT_NEAR(ratio, 1.0, 0.15);
+}
+
+TEST(PaperFig8, SrrBalancesOneInFourPerfectly)
+{
+    GpuConfig rr = volta(1);
+    GpuConfig srr = rr;
+    srr.assign = AssignPolicy::SRR;
+    GpuConfig shuffle = rr;
+    shuffle.assign = AssignPolicy::Shuffle;
+
+    KernelDesc k = makeImbalanceMicro(16.0, 256, 8);
+    Cycle tRr = simulate(rr, k).cycles;
+    Cycle tSrr = simulate(srr, k).cycles;
+    Cycle tShuffle = simulate(shuffle, k).cycles;
+    // SRR best, Shuffle in between, RR pathological.
+    EXPECT_LT(tSrr, tShuffle);
+    EXPECT_LT(tShuffle, tRr);
+    EXPECT_GT(static_cast<double>(tRr) / static_cast<double>(tSrr),
+              2.0);
+}
+
+TEST(PaperSec6, RbaHelpsReadOperandBoundApps)
+{
+    GpuConfig base = volta(4);
+    GpuConfig rba = base;
+    rba.scheduler = SchedulerPolicy::RBA;
+    Application mriq = buildApp(findApp("pb-mriq", 0.2));
+    double s = speedupOf(base, rba, mriq);
+    EXPECT_GT(s, 1.05);   // paper: double-digit on RF-bound apps
+}
+
+TEST(PaperSec6, RbaBeatsDoublingCollectorUnits)
+{
+    GpuConfig base = volta(4);
+    GpuConfig rba = base;
+    rba.scheduler = SchedulerPolicy::RBA;
+    GpuConfig cu4 = base;
+    cu4.collectorUnitsPerSm = 4 * cu4.subCores;
+    Application mriq = buildApp(findApp("pb-mriq", 0.2));
+    EXPECT_GT(speedupOf(base, rba, mriq),
+              speedupOf(base, cu4, mriq));
+}
+
+TEST(PaperSec6, TpchGainsLittleFromRba)
+{
+    GpuConfig base = volta(4);
+    GpuConfig rba = base;
+    rba.scheduler = SchedulerPolicy::RBA;
+    Application q = buildApp(findApp("tpcU-q8", 0.2));
+    double s = speedupOf(base, rba, q);
+    EXPECT_NEAR(s, 1.0, 0.05);   // "only a few percent"
+}
+
+TEST(PaperFig16, SrrSpeedsUpUncompressedTpch)
+{
+    GpuConfig base = volta(4);
+    GpuConfig srr = base;
+    srr.assign = AssignPolicy::SRR;
+    Application q8 = buildApp(findApp("tpcU-q8", 0.25));
+    double s = speedupOf(base, srr, q8);
+    EXPECT_GT(s, 1.10);   // paper: +30.8% on query 8
+}
+
+TEST(PaperFig17, SrrCollapsesIssueCov)
+{
+    GpuConfig base = volta(4);
+    GpuConfig srr = base;
+    srr.assign = AssignPolicy::SRR;
+    Application q8 = buildApp(findApp("tpcU-q8", 0.25));
+    double covRr = simulate(base, q8).issueCov();
+    double covSrr = simulate(srr, q8).issueCov();
+    EXPECT_GT(covRr, 0.4);     // paper: 0.80 avg, 1.01 on q8
+    EXPECT_LT(covSrr, covRr / 2.5);
+}
+
+TEST(PaperSec6, BankStealingNearNoise)
+{
+    GpuConfig base = volta(2);
+    GpuConfig steal = base;
+    steal.bankStealing = true;
+    Application app = buildApp(findApp("rod-srad", 0.15));
+    double s = speedupOf(base, steal, app);
+    EXPECT_NEAR(s, 1.0, 0.05);   // paper: <1% with 2 CUs/sub-core
+}
+
+TEST(PaperFig14, RbaRaisesAverageRfUtilizationOnSrad)
+{
+    AppSpec spec = findApp("rod-srad", 0.15);
+    auto avgReads = [&](SchedulerPolicy p, int subCores) {
+        GpuConfig cfg = volta(1);
+        cfg.scheduler = p;
+        cfg.subCores = subCores;
+        cfg.rfTraceEnable = true;
+        SimStats s = simulate(cfg, buildApp(spec));
+        return s.rfReadTrace.average();
+    };
+    double base = avgReads(SchedulerPolicy::GTO, 4);
+    double rba = avgReads(SchedulerPolicy::RBA, 4);
+    EXPECT_GT(rba, base);   // paper: 22.2 -> 27.1 reads/cycle
+}
+
+TEST(PaperSec4, SubCoreCountScalesImbalancePenalty)
+{
+    // 2 sub-cores halve the pathological loss relative to 4.
+    KernelDesc unbal = makeFmaMicro(FmaLayout::Unbalanced, 512, 8);
+    KernelDesc base = makeFmaMicro(FmaLayout::Baseline, 512, 8);
+    auto ratioFor = [&](int subCores) {
+        GpuConfig cfg = volta(1);
+        cfg.subCores = subCores;
+        return static_cast<double>(simulate(cfg, unbal).cycles)
+            / static_cast<double>(simulate(cfg, base).cycles);
+    };
+    double two = ratioFor(2);
+    double four = ratioFor(4);
+    EXPECT_GT(four, two);
+    EXPECT_NEAR(two, 2.0, 0.5);
+}
+
+} // namespace
+} // namespace scsim

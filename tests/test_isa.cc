@@ -1,0 +1,100 @@
+/** @file Unit tests for the instruction representation. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace scsim {
+namespace {
+
+TEST(Opcode, StringRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromString(toString(op)), op);
+    }
+}
+
+TEST(OpcodeDeath, UnknownMnemonic)
+{
+    EXPECT_EXIT(opcodeFromString("HCF"), ::testing::ExitedWithCode(1),
+                "unknown opcode");
+}
+
+TEST(Opcode, UnitMapping)
+{
+    EXPECT_EQ(unitOf(Opcode::FMA), UnitKind::SP);
+    EXPECT_EQ(unitOf(Opcode::IADD), UnitKind::SP);
+    EXPECT_EQ(unitOf(Opcode::MOV), UnitKind::SP);
+    EXPECT_EQ(unitOf(Opcode::SFU), UnitKind::SFU);
+    EXPECT_EQ(unitOf(Opcode::TENSOR), UnitKind::Tensor);
+    EXPECT_EQ(unitOf(Opcode::LDG), UnitKind::LdSt);
+    EXPECT_EQ(unitOf(Opcode::STS), UnitKind::LdSt);
+    EXPECT_EQ(unitOf(Opcode::BAR), UnitKind::None);
+    EXPECT_EQ(unitOf(Opcode::EXIT), UnitKind::None);
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(isMemory(Opcode::LDG));
+    EXPECT_TRUE(isMemory(Opcode::STG));
+    EXPECT_TRUE(isMemory(Opcode::LDS));
+    EXPECT_TRUE(isMemory(Opcode::STS));
+    EXPECT_FALSE(isMemory(Opcode::FMA));
+    EXPECT_FALSE(isMemory(Opcode::BAR));
+
+    EXPECT_TRUE(isLoad(Opcode::LDG));
+    EXPECT_TRUE(isLoad(Opcode::LDS));
+    EXPECT_FALSE(isLoad(Opcode::STG));
+    EXPECT_FALSE(isLoad(Opcode::FMA));
+}
+
+TEST(Instruction, AluConstructor)
+{
+    Instruction i = Instruction::alu(Opcode::FMA, 3, 3, 4, 5);
+    EXPECT_EQ(i.op, Opcode::FMA);
+    EXPECT_EQ(i.dst, 3);
+    EXPECT_EQ(i.numSrcs(), 3);
+    EXPECT_TRUE(i.usesCollector());
+}
+
+TEST(Instruction, NumSrcsCountsOnlyUsed)
+{
+    Instruction i = Instruction::alu(Opcode::IADD, 1, 2);
+    EXPECT_EQ(i.numSrcs(), 1);
+    Instruction mov = Instruction::alu(Opcode::MOV, 1);
+    EXPECT_EQ(mov.numSrcs(), 0);
+}
+
+TEST(Instruction, LoadStoreShapes)
+{
+    MemInfo m;
+    m.space = MemSpace::Global;
+    Instruction ld = Instruction::load(Opcode::LDG, 5, 6, m);
+    EXPECT_EQ(ld.dst, 5);
+    EXPECT_EQ(ld.srcs[0], 6);
+    EXPECT_EQ(ld.numSrcs(), 1);
+
+    Instruction st = Instruction::store(Opcode::STG, 6, 5, m);
+    EXPECT_EQ(st.dst, kNoReg);
+    EXPECT_EQ(st.numSrcs(), 2);
+}
+
+TEST(Instruction, BarrierAndExitSkipCollector)
+{
+    EXPECT_FALSE(Instruction::barrier().usesCollector());
+    EXPECT_FALSE(Instruction::exit().usesCollector());
+    EXPECT_EQ(Instruction::barrier().dst, kNoReg);
+    EXPECT_EQ(Instruction::exit().numSrcs(), 0);
+}
+
+TEST(MemInfo, Defaults)
+{
+    MemInfo m;
+    EXPECT_EQ(m.space, MemSpace::Global);
+    EXPECT_GT(m.footprintBytes, 0u);
+    EXPECT_FALSE(m.randomAccess);
+}
+
+} // namespace
+} // namespace scsim

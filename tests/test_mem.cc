@@ -1,0 +1,225 @@
+/** @file Tests for the cache model and memory system. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "mem/mem_system.hh"
+
+namespace scsim {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 64, 2);
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f));   // same 64B line
+    EXPECT_FALSE(c.access(0x140));  // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2 ways, 64B lines, 2 sets -> set = line & 1.
+    Cache c(256, 64, 2);
+    Addr a = 0x0000, b = 0x0100, d = 0x0200;   // all set 0
+    c.access(a);
+    c.access(b);
+    c.access(a);          // a is MRU
+    c.access(d);          // evicts b
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, ContainsHasNoSideEffects)
+{
+    Cache c(256, 64, 2);
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.accesses(), 0u);
+    c.access(0x40);
+    EXPECT_TRUE(c.contains(0x40));
+    EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(Cache, ResetClears)
+{
+    Cache c(256, 64, 2);
+    c.access(0x40);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.accesses(), 0u);
+}
+
+TEST(Cache, WaysCappedToLineCount)
+{
+    Cache c(128, 64, 16);   // only 2 lines exist
+    EXPECT_EQ(c.numWays(), 2);
+    EXPECT_EQ(c.numSets(), 1);
+}
+
+/** Property: the cache matches a simple reference LRU model. */
+class CacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheProperty, MatchesReferenceLru)
+{
+    const int lineBytes = 64, ways = 4;
+    const std::uint64_t bytes = 4096;
+    Cache c(bytes, lineBytes, ways);
+    int numSets = c.numSets();
+
+    // Reference: per set, vector of lines in LRU order (front = LRU).
+    std::map<int, std::vector<Addr>> ref;
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = rng.next(1 << 16);
+        Addr line = addr / lineBytes;
+        int set = static_cast<int>(line % static_cast<Addr>(numSets));
+        auto &lines = ref[set];
+        auto it = std::find(lines.begin(), lines.end(), line);
+        bool refHit = it != lines.end();
+        if (refHit)
+            lines.erase(it);
+        else if (static_cast<int>(lines.size()) == ways)
+            lines.erase(lines.begin());
+        lines.push_back(line);
+
+        EXPECT_EQ(c.access(addr), refHit) << "access " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty,
+                         ::testing::Values(1u, 2u, 3u, 99u));
+
+TEST(GenAddress, DeterministicAndInBounds)
+{
+    MemInfo m;
+    m.footprintBytes = 1 << 20;
+    m.randomAccess = true;
+    for (std::uint64_t g = 0; g < 8; ++g) {
+        Addr a = genAddress(m, g, 3, 42);
+        EXPECT_EQ(a, genAddress(m, g, 3, 42));
+        EXPECT_LT(a & ((1ULL << 40) - 1),
+                  m.footprintBytes);
+    }
+    EXPECT_NE(genAddress(m, 1, 3, 42), genAddress(m, 2, 3, 42));
+}
+
+TEST(GenAddress, StridedPattern)
+{
+    MemInfo m;
+    m.randomAccess = false;
+    m.strideBytes = 128;
+    m.stepBytes = 256;
+    m.footprintBytes = 1 << 20;
+    m.region = 2;
+    Addr a0 = genAddress(m, 4, 0, 0);
+    Addr a1 = genAddress(m, 4, 1, 0);
+    EXPECT_EQ(a1 - a0, 256u);
+    EXPECT_EQ(a0 >> 40, 2u);   // region tag
+    EXPECT_EQ(a0 & ((1ULL << 40) - 1), 4u * 128u);
+}
+
+class MemSystemTest : public ::testing::Test
+{
+  protected:
+    MemSystemTest() : cfg_(GpuConfig::volta())
+    {
+        cfg_.numSms = 2;
+        mem_ = std::make_unique<MemSystem>(cfg_);
+    }
+    GpuConfig cfg_;
+    std::unique_ptr<MemSystem> mem_;
+};
+
+TEST_F(MemSystemTest, L1HitIsFast)
+{
+    MemInfo m;
+    m.sectors = 1;
+    m.footprintBytes = 4096;
+    Cycle first = mem_->access(0, m, 0, 0, 1000);
+    Cycle second = mem_->access(0, m, 0, 0, 2000);
+    EXPECT_GT(first - 1000, static_cast<Cycle>(cfg_.l1HitLatency));
+    EXPECT_EQ(second - 2000, static_cast<Cycle>(cfg_.l1HitLatency));
+}
+
+TEST_F(MemSystemTest, MissesCostMore)
+{
+    MemInfo big;
+    big.sectors = 1;
+    big.footprintBytes = 1ULL << 30;
+    big.randomAccess = true;
+    Cycle missLat = mem_->access(0, big, 7, 0, 0) ;
+    EXPECT_GT(missLat, static_cast<Cycle>(cfg_.l2HitLatency));
+}
+
+TEST_F(MemSystemTest, BandwidthQueueingGrows)
+{
+    MemInfo m;
+    m.sectors = 32;          // fully scattered
+    m.randomAccess = true;
+    m.footprintBytes = 1ULL << 32;
+    Cycle lat1 = mem_->access(0, m, 1, 0, 0);
+    Cycle worst = lat1;
+    for (std::uint64_t i = 1; i < 32; ++i)
+        worst = std::max(worst, mem_->access(0, m, 1, i, 0));
+    // Later requests queue behind earlier ones at the same cycle.
+    EXPECT_GT(worst, lat1);
+}
+
+TEST_F(MemSystemTest, SharedMemoryLatency)
+{
+    MemInfo m;
+    m.space = MemSpace::Shared;
+    m.sectors = 1;
+    EXPECT_EQ(mem_->access(0, m, 0, 0, 100),
+              100u + static_cast<Cycle>(cfg_.smemLatency));
+    m.sectors = 5;   // 4 extra conflict cycles
+    EXPECT_EQ(mem_->access(0, m, 0, 0, 100),
+              100u + static_cast<Cycle>(cfg_.smemLatency) + 4u);
+}
+
+TEST_F(MemSystemTest, PerSmL1sArePrivate)
+{
+    MemInfo m;
+    m.sectors = 1;
+    m.footprintBytes = 4096;
+    mem_->access(0, m, 0, 0, 0);                  // warm SM 0
+    Cycle sm1 = mem_->access(1, m, 0, 0, 5000);   // SM 1 still cold
+    EXPECT_GT(sm1 - 5000, static_cast<Cycle>(cfg_.l1HitLatency));
+}
+
+TEST_F(MemSystemTest, StatsExport)
+{
+    MemInfo m;
+    m.sectors = 4;
+    m.footprintBytes = 1 << 22;
+    mem_->access(0, m, 0, 0, 0);
+    SimStats s;
+    mem_->exportStats(s);
+    // Four contiguous sectors share one 128B line: 1 miss fills it.
+    EXPECT_EQ(s.l1Accesses, 4u);
+    EXPECT_EQ(s.l1Misses, 1u);
+    EXPECT_EQ(s.l2Accesses, 1u);
+}
+
+TEST_F(MemSystemTest, ResetRestoresColdState)
+{
+    MemInfo m;
+    m.sectors = 1;
+    m.footprintBytes = 4096;
+    mem_->access(0, m, 0, 0, 0);
+    mem_->reset();
+    SimStats s;
+    mem_->exportStats(s);
+    EXPECT_EQ(s.l1Accesses, 0u);
+    Cycle lat = mem_->access(0, m, 0, 0, 0);
+    EXPECT_GT(lat, static_cast<Cycle>(cfg_.l1HitLatency));
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,94 @@
+/** @file Tests for the analytical area/power model (Fig 13 anchors). */
+
+#include <gtest/gtest.h>
+
+#include "power/cost_model.hh"
+
+namespace scsim {
+namespace {
+
+TEST(CostModel, BaselineNormalizesToUnity)
+{
+    CostEstimate e = CostModel::subcore(GpuConfig::volta());
+    EXPECT_NEAR(e.area, 1.0, 1e-9);
+    EXPECT_NEAR(e.power, 1.0, 1e-9);
+}
+
+TEST(CostModel, FourCuAnchor)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.collectorUnitsPerSm = 4 * cfg.subCores;
+    CostEstimate e = CostModel::subcore(cfg);
+    EXPECT_NEAR(e.area, 1.27, 1e-9);
+    EXPECT_NEAR(e.power, 1.60, 1e-9);
+}
+
+TEST(CostModel, RbaAnchor)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.scheduler = SchedulerPolicy::RBA;
+    CostEstimate e = CostModel::subcore(cfg);
+    EXPECT_NEAR(e.area, 1.01, 1e-9);
+    EXPECT_NEAR(e.power, 1.01, 1e-9);
+}
+
+TEST(CostModel, MonotoneInCollectorUnits)
+{
+    double prevArea = 0, prevPower = 0;
+    for (int cus : { 1, 2, 4, 8, 16 }) {
+        GpuConfig cfg = GpuConfig::volta();
+        cfg.collectorUnitsPerSm = cus * cfg.subCores;
+        CostEstimate e = CostModel::subcore(cfg);
+        EXPECT_GT(e.area, prevArea);
+        EXPECT_GT(e.power, prevPower);
+        prevArea = e.area;
+        prevPower = e.power;
+    }
+}
+
+TEST(CostModel, MonotoneInBanks)
+{
+    GpuConfig two = GpuConfig::volta();
+    GpuConfig four = two;
+    four.rfBanksPerSm = 4 * four.subCores;
+    EXPECT_GT(CostModel::subcore(four).area,
+              CostModel::subcore(two).area);
+    EXPECT_GT(CostModel::subcore(four).power,
+              CostModel::subcore(two).power);
+}
+
+TEST(CostModel, RbaIsFarCheaperThanCuScaling)
+{
+    GpuConfig rba = GpuConfig::volta();
+    rba.scheduler = SchedulerPolicy::RBA;
+    GpuConfig cu4 = GpuConfig::volta();
+    cu4.collectorUnitsPerSm = 4 * cu4.subCores;
+    double rbaDelta = CostModel::subcore(rba).power - 1.0;
+    double cuDelta = CostModel::subcore(cu4).power - 1.0;
+    EXPECT_LT(rbaDelta * 20, cuDelta);
+}
+
+TEST(CostModel, BreakdownSumsToTotal)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.scheduler = SchedulerPolicy::RBA;
+    cfg.collectorUnitsPerSm = 8 * cfg.subCores;
+    CostBreakdown b = CostModel::breakdown(cfg);
+    CostEstimate e = CostModel::subcore(cfg);
+    EXPECT_NEAR(b.area(), e.area, 1e-12);
+    EXPECT_NEAR(b.power(), e.power, 1e-12);
+    EXPECT_GT(b.rbaArea, 0.0);
+}
+
+TEST(CostModel, StructuralBitCounts)
+{
+    // 16 entries x 5 bits of score storage (Sec. VI-B2).
+    EXPECT_EQ(CostModel::rbaScoreBits(), 80);
+    // Each CU stores 3 x 32 x 32 bits of operands plus tags.
+    EXPECT_GT(CostModel::cuStorageBits(), 3 * 32 * 32);
+    EXPECT_GT(CostModel::cuStorageBits(),
+              30 * CostModel::rbaScoreBits());
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,136 @@
+/** @file Tests for the banked register file arbiter. */
+
+#include <gtest/gtest.h>
+
+#include "core/reg_file.hh"
+
+namespace scsim {
+namespace {
+
+TEST(RegFileArbiter, BankSwizzle)
+{
+    RegFileArbiter arb(2);
+    EXPECT_EQ(arb.bankOf(0, 0), 0);
+    EXPECT_EQ(arb.bankOf(1, 0), 1);
+    // Mod 2 the swizzle is the plain parity mapping: slot flips it.
+    EXPECT_EQ(arb.bankOf(0, 1), 1);
+    EXPECT_EQ(arb.bankOf(7, 3), (7 + 3) % 2);
+
+    RegFileArbiter arb8(8);
+    EXPECT_EQ(arb8.bankOf(5, 10), (5 + 7 * 10) % 8);
+}
+
+TEST(RegFileArbiter, OneReadPerBankPerCycle)
+{
+    RegFileArbiter arb(2);
+    arb.pushRead(0, ReadRequest{ 0, 1 });
+    arb.pushRead(0, ReadRequest{ 1, 1 });
+    arb.pushRead(1, ReadRequest{ 2, 1 });
+
+    ArbGrants g;
+    arb.arbitrate(g);
+    EXPECT_EQ(g.reads.size(), 2u);        // one per bank
+    EXPECT_EQ(g.conflictCycles, 1);       // bank 0 still has a reader
+    EXPECT_EQ(arb.readQueueLen(0), 1);
+    EXPECT_EQ(arb.readQueueLen(1), 0);
+
+    g.clear();
+    arb.arbitrate(g);
+    EXPECT_EQ(g.reads.size(), 1u);
+    EXPECT_EQ(g.conflictCycles, 0);
+    EXPECT_FALSE(arb.anyPending());
+}
+
+TEST(RegFileArbiter, ReadsAreFifoPerBank)
+{
+    RegFileArbiter arb(1);
+    arb.pushRead(0, ReadRequest{ 7, 1 });
+    arb.pushRead(0, ReadRequest{ 8, 2 });
+    ArbGrants g;
+    arb.arbitrate(g);
+    ASSERT_EQ(g.reads.size(), 1u);
+    EXPECT_EQ(g.reads[0].cu, 7);
+    g.clear();
+    arb.arbitrate(g);
+    ASSERT_EQ(g.reads.size(), 1u);
+    EXPECT_EQ(g.reads[0].cu, 8);
+}
+
+TEST(RegFileArbiter, WritePortIsIndependent)
+{
+    RegFileArbiter arb(2);
+    arb.pushRead(0, ReadRequest{ 0, 1 });
+    arb.pushWrite(0, WriteRequest{ 3, 12 });
+    ArbGrants g;
+    arb.arbitrate(g);
+    // Same bank grants both its read and its write this cycle.
+    EXPECT_EQ(g.reads.size(), 1u);
+    ASSERT_EQ(g.writes.size(), 1u);
+    EXPECT_EQ(g.writes[0].warp, 3);
+    EXPECT_EQ(g.writes[0].reg, 12);
+    EXPECT_EQ(g.conflictCycles, 0);
+}
+
+TEST(RegFileArbiter, WritesQueuePerBank)
+{
+    RegFileArbiter arb(1);
+    arb.pushWrite(0, WriteRequest{ 1, 1 });
+    arb.pushWrite(0, WriteRequest{ 2, 2 });
+    ArbGrants g;
+    arb.arbitrate(g);
+    ASSERT_EQ(g.writes.size(), 1u);
+    EXPECT_EQ(g.writes[0].warp, 1);
+    EXPECT_TRUE(arb.anyPending());
+    g.clear();
+    arb.arbitrate(g);
+    ASSERT_EQ(g.writes.size(), 1u);
+    EXPECT_EQ(g.writes[0].warp, 2);
+}
+
+TEST(RegFileArbiter, ReadIdleTracksQueues)
+{
+    RegFileArbiter arb(2);
+    EXPECT_TRUE(arb.readIdle(0));
+    arb.pushRead(0, ReadRequest{ 0, 1 });
+    EXPECT_FALSE(arb.readIdle(0));
+    EXPECT_TRUE(arb.readIdle(1));
+}
+
+TEST(RegFileArbiter, ResetDrainsEverything)
+{
+    RegFileArbiter arb(2);
+    arb.pushRead(0, ReadRequest{ 0, 1 });
+    arb.pushWrite(1, WriteRequest{ 0, 3 });
+    arb.reset();
+    EXPECT_FALSE(arb.anyPending());
+    EXPECT_EQ(arb.readQueueLen(0), 0);
+}
+
+/** Sweep bank counts: each bank grants at most one read per cycle. */
+class ArbiterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArbiterSweep, GrantInvariant)
+{
+    int banks = GetParam();
+    RegFileArbiter arb(banks);
+    // Two requests on every bank.
+    for (int b = 0; b < banks; ++b) {
+        arb.pushRead(b, ReadRequest{ b, 1 });
+        arb.pushRead(b, ReadRequest{ b + 100, 1 });
+    }
+    ArbGrants g;
+    arb.arbitrate(g);
+    EXPECT_EQ(static_cast<int>(g.reads.size()), banks);
+    EXPECT_EQ(g.conflictCycles, banks);
+    g.clear();
+    arb.arbitrate(g);
+    EXPECT_EQ(static_cast<int>(g.reads.size()), banks);
+    EXPECT_EQ(g.conflictCycles, 0);
+    EXPECT_FALSE(arb.anyPending());
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, ArbiterSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,91 @@
+/** @file Tests for the per-warp scoreboard. */
+
+#include <gtest/gtest.h>
+
+#include "core/scoreboard.hh"
+
+namespace scsim {
+namespace {
+
+TEST(Scoreboard, FreshIsReady)
+{
+    Scoreboard sb;
+    EXPECT_TRUE(sb.ready(Instruction::alu(Opcode::FMA, 0, 0, 1, 2)));
+    EXPECT_FALSE(sb.anyPending());
+}
+
+TEST(Scoreboard, RawHazardBlocks)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::alu(Opcode::FMA, 5, 0, 1, 2));
+    EXPECT_TRUE(sb.pending(5));
+    // Consumer of r5 blocks; independent instruction does not.
+    EXPECT_FALSE(sb.ready(Instruction::alu(Opcode::FADD, 6, 5, 1)));
+    EXPECT_TRUE(sb.ready(Instruction::alu(Opcode::FADD, 6, 1, 2)));
+}
+
+TEST(Scoreboard, WawHazardBlocks)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::alu(Opcode::FMA, 5, 0, 1, 2));
+    EXPECT_FALSE(sb.ready(Instruction::alu(Opcode::IADD, 5, 1)));
+}
+
+TEST(Scoreboard, CompleteUnblocks)
+{
+    Scoreboard sb;
+    Instruction producer = Instruction::alu(Opcode::FMA, 5, 0, 1, 2);
+    Instruction consumer = Instruction::alu(Opcode::FADD, 6, 5, 1);
+    sb.markIssue(producer);
+    EXPECT_FALSE(sb.ready(consumer));
+    sb.completeWrite(5);
+    EXPECT_TRUE(sb.ready(consumer));
+    EXPECT_FALSE(sb.anyPending());
+}
+
+TEST(Scoreboard, TracksMultiplePending)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::alu(Opcode::FMA, 1, 0, 2, 3));
+    sb.markIssue(Instruction::alu(Opcode::FMA, 4, 0, 2, 3));
+    EXPECT_EQ(sb.pendingCount(), 2);
+    sb.completeWrite(1);
+    EXPECT_EQ(sb.pendingCount(), 1);
+    EXPECT_TRUE(sb.pending(4));
+    EXPECT_FALSE(sb.pending(1));
+}
+
+TEST(Scoreboard, NoDestinationIsNoOp)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::store(Opcode::STG, 1, 2, MemInfo{}));
+    EXPECT_FALSE(sb.anyPending());
+}
+
+TEST(Scoreboard, ResetClears)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::alu(Opcode::FMA, 1, 0, 2, 3));
+    sb.reset();
+    EXPECT_FALSE(sb.anyPending());
+    EXPECT_FALSE(sb.pending(1));
+}
+
+TEST(ScoreboardDeath, DoubleCompletePanics)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::alu(Opcode::FMA, 1, 0, 2, 3));
+    sb.completeWrite(1);
+    EXPECT_DEATH(sb.completeWrite(1), "never issued");
+}
+
+TEST(ScoreboardDeath, WawIssueWithoutReadyPanics)
+{
+    Scoreboard sb;
+    sb.markIssue(Instruction::alu(Opcode::FMA, 1, 0, 2, 3));
+    EXPECT_DEATH(sb.markIssue(Instruction::alu(Opcode::FMA, 1, 0, 2, 3)),
+                 "WAW");
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,217 @@
+/** @file Tests driving one SmCore directly: resource accounting,
+ *  assignment, barriers, and block-granularity release. */
+
+#include <gtest/gtest.h>
+
+#include "core/sm_core.hh"
+#include "workloads/microbench.hh"
+
+namespace scsim {
+namespace {
+
+class SmCoreTest : public ::testing::Test
+{
+  protected:
+    SmCoreTest()
+    {
+        cfg_ = GpuConfig::volta();
+        cfg_.numSms = 1;
+        cfg_.validate();
+        mem_ = std::make_unique<MemSystem>(cfg_);
+        stats_.issuePerScheduler.assign(1, std::vector<std::uint64_t>(
+            static_cast<std::size_t>(cfg_.schedulersPerSm), 0));
+        sm_ = std::make_unique<SmCore>(cfg_, 0, *mem_, stats_);
+    }
+
+    /** Run until the SM drains or @p limit cycles pass. */
+    Cycle
+    runUntilIdle(Cycle limit = 200000)
+    {
+        Cycle now = 0;
+        while (sm_->busy() && now < limit) {
+            sm_->cycle(now);
+            ++now;
+        }
+        return now;
+    }
+
+    GpuConfig cfg_;
+    std::unique_ptr<MemSystem> mem_;
+    SimStats stats_;
+    std::unique_ptr<SmCore> sm_;
+};
+
+TEST_F(SmCoreTest, AcceptsAndRunsOneBlock)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 1);
+    ASSERT_TRUE(sm_->canAccept(k));
+    sm_->acceptBlock(k, 0, 0);
+    EXPECT_EQ(sm_->activeBlocks(), 1);
+    EXPECT_EQ(sm_->residentWarps(), 8);
+    runUntilIdle();
+    EXPECT_FALSE(sm_->busy());
+    EXPECT_EQ(stats_.blocksCompleted, 1u);
+    EXPECT_EQ(stats_.warpsCompleted, 8u);
+    EXPECT_EQ(sm_->residentWarps(), 0);
+}
+
+TEST_F(SmCoreTest, RoundRobinMapsWarpsToSubcores)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 8, 1);
+    sm_->acceptBlock(k, 0, 0);
+    // Warp w -> cluster w % 4 under round robin with 4 sub-cores.
+    const WarpContext *warps = sm_->warpTable();
+    std::vector<int> clusterOf(8, -1);
+    for (int slot = 0; slot < cfg_.maxWarpsPerSm; ++slot) {
+        if (warps[slot].active)
+            clusterOf[static_cast<std::size_t>(
+                warps[slot].warpInBlock)] = warps[slot].cluster;
+    }
+    for (int w = 0; w < 8; ++w)
+        EXPECT_EQ(clusterOf[static_cast<std::size_t>(w)], w % 4);
+}
+
+TEST_F(SmCoreTest, WarpSlotCapacityGatesAcceptance)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Balanced, 64, 4);   // 32 warps
+    ASSERT_TRUE(sm_->canAccept(k));
+    sm_->acceptBlock(k, 0, 0);
+    ASSERT_TRUE(sm_->canAccept(k));
+    sm_->acceptBlock(k, 1, 0);
+    // 64 warp slots used; a third block cannot fit.
+    EXPECT_FALSE(sm_->canAccept(k));
+}
+
+TEST_F(SmCoreTest, RegisterCapacityGatesAcceptance)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 4);
+    k.regsPerThread = 256;   // 32 KB per warp: 2 warps per sub-core file
+    ASSERT_TRUE(sm_->canAccept(k));
+    sm_->acceptBlock(k, 0, 0);
+    EXPECT_FALSE(sm_->canAccept(k));
+}
+
+TEST_F(SmCoreTest, SharedMemoryGatesAcceptance)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 4);
+    k.smemBytesPerBlock = 64 * 1024;
+    ASSERT_TRUE(sm_->canAccept(k));
+    sm_->acceptBlock(k, 0, 0);
+    EXPECT_FALSE(sm_->canAccept(k));   // 2 x 64 KB > 96 KB
+}
+
+TEST_F(SmCoreTest, CheckKernelFitsRejectsImpossibleBlocks)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 8, 1);
+    k.smemBytesPerBlock = 1024 * 1024;
+    EXPECT_EXIT(SmCore::checkKernelFits(cfg_, k),
+                ::testing::ExitedWithCode(1), "shared memory");
+}
+
+TEST_F(SmCoreTest, BlockHoldsResourcesUntilAllWarpsExit)
+{
+    // Unbalanced layout: the empty warps finish almost immediately but
+    // the block must stay resident until the compute warps exit.
+    KernelDesc k = makeFmaMicro(FmaLayout::Unbalanced, 512, 1);
+    sm_->acceptBlock(k, 0, 0);
+    Cycle now = 0;
+    bool sawPartiallyDone = false;
+    while (sm_->busy() && now < 100000) {
+        sm_->cycle(now);
+        ++now;
+        if (stats_.warpsCompleted > 0 && stats_.blocksCompleted == 0)
+            sawPartiallyDone = true;
+        if (stats_.blocksCompleted == 0) {
+            EXPECT_EQ(sm_->residentWarps(), 32);
+        }
+    }
+    EXPECT_TRUE(sawPartiallyDone);
+    EXPECT_EQ(stats_.blocksCompleted, 1u);
+}
+
+TEST_F(SmCoreTest, BarrierHoldsFastWarpsForSlowOnes)
+{
+    // All warps must reach the barrier before any proceeds to EXIT.
+    KernelDesc k = makeFmaMicro(FmaLayout::Unbalanced, 256, 1);
+    sm_->acceptBlock(k, 0, 0);
+    Cycle now = 0;
+    const WarpContext *warps = sm_->warpTable();
+    bool sawWaiters = false;
+    while (sm_->busy() && now < 100000) {
+        sm_->cycle(now);
+        ++now;
+        int atBarrier = 0;
+        for (int s = 0; s < cfg_.maxWarpsPerSm; ++s)
+            atBarrier += (warps[s].active && warps[s].atBarrier);
+        // Nobody exits while someone still computes toward the barrier.
+        if (atBarrier > 0 && atBarrier < 32)
+            sawWaiters = true;
+        if (stats_.warpsCompleted > 0) {
+            // Once exits begin, the barrier must have fully released.
+            EXPECT_EQ(atBarrier, 0);
+        }
+    }
+    EXPECT_TRUE(sawWaiters);
+    EXPECT_EQ(stats_.warpsCompleted, 32u);
+}
+
+TEST_F(SmCoreTest, PerSchedulerIssueCountsAreRecorded)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 64, 1);
+    sm_->acceptBlock(k, 0, 0);
+    runUntilIdle();
+    std::uint64_t total = 0;
+    for (std::uint64_t n : stats_.issuePerScheduler[0]) {
+        EXPECT_GT(n, 0u);
+        total += n;
+    }
+    EXPECT_EQ(total, stats_.instructions);
+    // 8 warps x (64 FMA + BAR + EXIT).
+    EXPECT_EQ(total, 8u * 66u);
+}
+
+TEST_F(SmCoreTest, UnbalancedLayoutSkewsIssueToOneScheduler)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Unbalanced, 128, 1);
+    sm_->acceptBlock(k, 0, 0);
+    runUntilIdle();
+    const auto &per = stats_.issuePerScheduler[0];
+    // Sub-core 0 got all compute warps; others only BAR/EXIT pairs.
+    EXPECT_GT(per[0], 10u * (per[1] + per[2] + per[3]) / 3u);
+}
+
+TEST_F(SmCoreTest, NextWakeAdvancesThroughEvents)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 16, 1);
+    sm_->acceptBlock(k, 0, 0);
+    Cycle now = 0;
+    while (sm_->busy() && now < 100000) {
+        sm_->cycle(now);
+        Cycle wake = sm_->nextWake(now);
+        if (!sm_->busy())
+            break;
+        ASSERT_NE(wake, kNoCycle);
+        ASSERT_GT(wake, now);
+        if (wake > now + 1)
+            sm_->onIdleSkip();
+        now = wake;
+    }
+    EXPECT_FALSE(sm_->busy());
+    EXPECT_EQ(stats_.blocksCompleted, 1u);
+}
+
+TEST_F(SmCoreTest, ResetRestoresPristineState)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 32, 1);
+    sm_->acceptBlock(k, 0, 0);
+    for (Cycle c = 0; c < 50; ++c)
+        sm_->cycle(c);
+    sm_->reset();
+    EXPECT_FALSE(sm_->busy());
+    EXPECT_EQ(sm_->activeBlocks(), 0);
+    EXPECT_EQ(sm_->residentWarps(), 0);
+    EXPECT_TRUE(sm_->canAccept(k));
+}
+
+} // namespace
+} // namespace scsim

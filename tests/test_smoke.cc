@@ -1,0 +1,35 @@
+/** @file End-to-end smoke: the FMA micro runs and shows the Fig 3 shape. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_sim.hh"
+#include "workloads/microbench.hh"
+
+namespace scsim {
+namespace {
+
+TEST(Smoke, FmaMicroRunsToCompletion)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 1;
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 256, 4);
+    SimStats stats = simulate(cfg, k);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(stats.blocksCompleted, 4u);
+    EXPECT_EQ(stats.warpsCompleted, 4u * 8u);
+}
+
+TEST(Smoke, UnbalancedSlowerThanBalanced)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 1;
+    auto cyclesOf = [&](FmaLayout layout) {
+        return simulate(cfg, makeFmaMicro(layout, 512, 8)).cycles;
+    };
+    Cycle balanced = cyclesOf(FmaLayout::Balanced);
+    Cycle unbalanced = cyclesOf(FmaLayout::Unbalanced);
+    EXPECT_GT(unbalanced, balanced * 2);
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,155 @@
+/** @file Unit tests for statistics primitives. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+namespace scsim {
+namespace {
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cov(), 0.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.add(5.0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+}
+
+TEST(Distribution, KnownMoments)
+{
+    // Values 8K,8,8,8 give CoV = sqrt(3)(K-1)/(K+3) (see DESIGN.md).
+    Distribution d;
+    for (double x : { 32.0, 8.0, 8.0, 8.0 })   // K = 4
+        d.add(x);
+    EXPECT_DOUBLE_EQ(d.mean(), 14.0);
+    double expectCov = std::sqrt(3.0) * 3.0 / 7.0;
+    EXPECT_NEAR(d.cov(), expectCov, 1e-12);
+}
+
+TEST(Distribution, MergeMatchesCombined)
+{
+    Distribution a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        double x = i * 1.5 - 3.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Distribution, MergeWithEmpty)
+{
+    Distribution a, empty;
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TimeSeries, WindowAveraging)
+{
+    TimeSeries ts(10);
+    for (Cycle c = 0; c < 30; ++c)
+        ts.add(c, 2.0);
+    ts.finalize(30);
+    ASSERT_EQ(ts.samples().size(), 3u);
+    for (double s : ts.samples())
+        EXPECT_DOUBLE_EQ(s, 2.0);
+}
+
+TEST(TimeSeries, SparseAdds)
+{
+    TimeSeries ts(4);
+    ts.add(0, 4.0);
+    ts.add(7, 8.0);    // second window
+    ts.finalize(8);
+    ASSERT_EQ(ts.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.samples()[0], 1.0);   // 4 over 4 cycles
+    EXPECT_DOUBLE_EQ(ts.samples()[1], 2.0);   // 8 over 4 cycles
+}
+
+TEST(TimeSeries, FinalizePartialWindow)
+{
+    TimeSeries ts(8);
+    ts.add(0, 8.0);
+    ts.finalize(4);    // only 4 cycles elapsed
+    ASSERT_EQ(ts.samples().size(), 1u);
+    EXPECT_DOUBLE_EQ(ts.samples()[0], 2.0);
+}
+
+TEST(TimeSeries, EmptyGapsProduceZeroSamples)
+{
+    TimeSeries ts(2);
+    ts.add(9, 6.0);
+    ts.finalize(10);
+    ASSERT_EQ(ts.samples().size(), 5u);
+    EXPECT_DOUBLE_EQ(ts.samples()[3], 0.0);
+    EXPECT_DOUBLE_EQ(ts.samples()[4], 3.0);
+}
+
+TEST(SummaryMath, Mean)
+{
+    std::vector<double> xs { 1.0, 2.0, 3.0 };
+    EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(SummaryMath, Geomean)
+{
+    std::vector<double> xs { 1.0, 4.0 };
+    EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+    std::vector<double> ones(5, 1.0);
+    EXPECT_NEAR(geomean(ones), 1.0, 1e-12);
+}
+
+TEST(SummaryMath, CoefficientOfVariation)
+{
+    std::vector<double> same(4, 3.0);
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(same), 0.0);
+    std::vector<double> spread { 32.0, 8.0, 8.0, 8.0 };
+    EXPECT_NEAR(coefficientOfVariation(spread),
+                std::sqrt(3.0) * 3.0 / 7.0, 1e-12);
+}
+
+TEST(SimStats, IpcAndCov)
+{
+    SimStats s;
+    s.cycles = 100;
+    s.instructions = 250;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+
+    s.issuePerScheduler = { { 32, 8, 8, 8 }, { 0, 0, 0, 0 } };
+    // The idle SM is excluded from the average.
+    EXPECT_NEAR(s.issueCov(), std::sqrt(3.0) * 3.0 / 7.0, 1e-12);
+}
+
+TEST(SimStats, IssueCovBalanced)
+{
+    SimStats s;
+    s.issuePerScheduler = { { 10, 10, 10, 10 } };
+    EXPECT_DOUBLE_EQ(s.issueCov(), 0.0);
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,162 @@
+/** @file Structural assertions on the synthetic suite: each suite's
+ *  generated code must exhibit the warp-level characteristics its
+ *  real counterpart is modeled on (DESIGN.md substitution table). */
+
+#include <gtest/gtest.h>
+
+#include "trace/reg_realloc.hh"
+#include "workloads/calibration.hh"
+#include "workloads/suite.hh"
+
+namespace scsim {
+namespace {
+
+double
+opFraction(const KernelDesc &k, bool (*pred)(Opcode))
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const auto &shape : k.shapes)
+        for (const auto &inst : shape.code) {
+            if (!inst.usesCollector())
+                continue;
+            ++total;
+            hits += pred(inst.op);
+        }
+    return total ? static_cast<double>(hits)
+                       / static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+conflictsPerInst(const AppSpec &spec)
+{
+    Application app = buildApp(spec);
+    std::uint64_t conflicts = 0, insts = 0;
+    for (const auto &k : app.kernels)
+        for (const auto &shape : k.shapes) {
+            ConflictProfile p = profileConflicts(shape, 2);
+            conflicts += p.sameInstConflicts;
+            insts += p.instructions;
+        }
+    return static_cast<double>(conflicts) / static_cast<double>(insts);
+}
+
+TEST(SuiteProfiles, CugraphIsBankConflictProne)
+{
+    // cuGraph models register-reuse-heavy kernels; its same-bank
+    // pressure must clearly exceed a streaming Polybench kernel's.
+    double graph = conflictsPerInst(findApp("cg-pgrnk", 0.1));
+    double stream = conflictsPerInst(findApp("ply-atax", 0.1));
+    EXPECT_GT(graph, 1.15 * stream);
+}
+
+TEST(SuiteProfiles, MriqIsComputeDominated)
+{
+    Application app = buildApp(findApp("pb-mriq", 0.1));
+    double mem = opFraction(app.kernels[0], isMemory);
+    EXPECT_LT(mem, 0.05);
+    double fma = opFraction(app.kernels[0], [](Opcode op) {
+        return op == Opcode::FMA;
+    });
+    EXPECT_GT(fma, 0.6);
+}
+
+TEST(SuiteProfiles, TpchIsMemoryHeavyOutsideDivergentKernels)
+{
+    AppSpec spec = findApp("tpcU-q5", 0.1);
+    Application app = buildApp(spec);
+    // The trailing (balanced, scan-like) kernel keeps the full memory
+    // fraction; the leading divergent kernels are compute-biased.
+    double memLast = opFraction(app.kernels.back(), isMemory);
+    double memFirst = opFraction(app.kernels.front(), isMemory);
+    EXPECT_GT(memLast, 0.20);
+    EXPECT_LT(memFirst, memLast);
+}
+
+TEST(SuiteProfiles, DeepbenchUsesTensorPipes)
+{
+    Application app = buildApp(findApp("db-conv-tr", 0.1));
+    double tensor = opFraction(app.kernels[0], [](Opcode op) {
+        return op == Opcode::TENSOR;
+    });
+    EXPECT_GT(tensor, 0.25);
+}
+
+TEST(SuiteProfiles, CutlassUsesSharedMemory)
+{
+    AppSpec spec = findApp("cutlass-1024", 0.1);
+    EXPECT_GT(spec.smemBytesPerBlock, 0u);
+    Application app = buildApp(spec);
+    double lds = opFraction(app.kernels[0], [](Opcode op) {
+        return op == Opcode::LDS;
+    });
+    EXPECT_GT(lds, 0.0);
+}
+
+TEST(SuiteProfiles, CompressedQueriesMoreImbalancedThanUncompressed)
+{
+    // Shape-length ratio between the longest and shortest warp of the
+    // first (divergent) kernel.
+    auto imbalance = [](const char *name) {
+        Application app = buildApp(findApp(name, 0.1));
+        const KernelDesc &k = app.kernels.front();
+        std::size_t lo = SIZE_MAX, hi = 0;
+        for (int w = 0; w < k.warpsPerBlock; ++w) {
+            lo = std::min(lo, k.programOf(w).length());
+            hi = std::max(hi, k.programOf(w).length());
+        }
+        return static_cast<double>(hi) / static_cast<double>(lo);
+    };
+    EXPECT_GT(imbalance("tpcC-q9"), imbalance("tpcU-q9"));
+    EXPECT_GT(imbalance("tpcU-q9"), 2.5);
+}
+
+TEST(SuiteProfiles, GraphAppsReuseAHotRegister)
+{
+    // hotRegFrac makes one register absorb a large share of reads.
+    // The hot register rotates per compiler phase, so measure the
+    // skew inside one phase-sized window (48 instructions).
+    Application app = buildApp(findApp("cg-lou", 0.1));
+    const WarpProgram &prog = app.kernels[0].shapes[0];
+    std::map<RegIndex, int> readCounts;
+    int totalReads = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(
+             48, prog.code.size()); ++i)
+        for (RegIndex r : prog.code[i].srcs)
+            if (r != kNoReg) {
+                ++readCounts[r];
+                ++totalReads;
+            }
+    int hottest = 0;
+    for (const auto &[reg, n] : readCounts)
+        hottest = std::max(hottest, n);
+    // The window's hottest register draws far above a uniform share.
+    double uniform = static_cast<double>(totalReads)
+        / static_cast<double>(readCounts.size());
+    EXPECT_GT(hottest, 1.6 * uniform);
+}
+
+TEST(SuiteProfiles, OracleSeesTheSuiteDifferences)
+{
+    // The analytical profile distinguishes conflict-heavy from
+    // streaming code.
+    Application graph = buildApp(findApp("cg-katz", 0.1));
+    Application stream = buildApp(findApp("ply-mvt", 0.1));
+    ProgramProfile g = analyzeProgram(graph.kernels[0].shapes[0], 2);
+    ProgramProfile p = analyzeProgram(stream.kernels[0].shapes[0], 2);
+    EXPECT_GT(g.worstBankReads, p.worstBankReads);
+}
+
+TEST(SuiteProfiles, RegWindowsRespectSpecs)
+{
+    for (const char *name : { "cg-lou", "pb-sgemm", "tpcC-q1" }) {
+        AppSpec spec = findApp(name, 0.1);
+        Application app = buildApp(spec);
+        for (const auto &k : app.kernels)
+            EXPECT_GE(k.regsPerThread,
+                      std::max(spec.regsPerThread, spec.regWindow));
+    }
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,263 @@
+/** @file Tests for the workload substrate: microbenchmarks, the
+ *  112-app suite table, and the synthetic generator. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/microbench.hh"
+#include "workloads/suite.hh"
+
+namespace scsim {
+namespace {
+
+TEST(FmaMicro, BaselineLayout)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 100, 3);
+    k.validate();
+    EXPECT_EQ(k.warpsPerBlock, 8);
+    EXPECT_EQ(k.numBlocks, 3);
+    for (std::uint16_t s : k.shapeOfWarp)
+        EXPECT_EQ(s, 0);
+    // 100 FMA + BAR + EXIT.
+    EXPECT_EQ(k.shapes[0].length(), 102u);
+}
+
+TEST(FmaMicro, BalancedPutsComputeWarpsFirst)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Balanced, 10, 1);
+    EXPECT_EQ(k.warpsPerBlock, 32);
+    for (int w = 0; w < 32; ++w)
+        EXPECT_EQ(k.shapeOfWarp[static_cast<std::size_t>(w)],
+                  w < 8 ? 0 : 1) << w;
+}
+
+TEST(FmaMicro, UnbalancedPutsComputeEveryFourth)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Unbalanced, 10, 1);
+    for (int w = 0; w < 32; ++w)
+        EXPECT_EQ(k.shapeOfWarp[static_cast<std::size_t>(w)],
+                  (w % 4 == 0) ? 0 : 1) << w;
+}
+
+TEST(FmaMicro, ComputeShapeIsDependentFmaChains)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 8, 1);
+    const auto &code = k.shapes[0].code;
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(code[static_cast<std::size_t>(i)].op, Opcode::FMA);
+        // Four interleaved accumulator chains (r0..r3).
+        EXPECT_EQ(code[static_cast<std::size_t>(i)].dst, i % 4);
+        EXPECT_EQ(code[static_cast<std::size_t>(i)].srcs[0], i % 4);
+    }
+    EXPECT_EQ(code[8].op, Opcode::BAR);
+    EXPECT_EQ(code[9].op, Opcode::EXIT);
+}
+
+TEST(FmaMicro, EmptyShapeIsBarrierExit)
+{
+    KernelDesc k = makeFmaMicro(FmaLayout::Balanced, 10, 1);
+    ASSERT_EQ(k.shapes[1].code.size(), 2u);
+    EXPECT_EQ(k.shapes[1].code[0].op, Opcode::BAR);
+    EXPECT_EQ(k.shapes[1].code[1].op, Opcode::EXIT);
+}
+
+TEST(ImbalanceMicro, LongWarpsEveryFourth)
+{
+    KernelDesc k = makeImbalanceMicro(4.0, 100, 2);
+    k.validate();
+    EXPECT_EQ(k.shapes[0].length(), 402u);
+    EXPECT_EQ(k.shapes[1].length(), 102u);
+    for (int w = 0; w < 32; ++w)
+        EXPECT_EQ(k.shapeOfWarp[static_cast<std::size_t>(w)],
+                  (w % 4 == 0) ? 0 : 1);
+}
+
+TEST(ConflictMicro, AllVariantsValidate)
+{
+    for (int v = 0; v < kNumConflictMicros; ++v) {
+        KernelDesc k = makeConflictMicro(v, 64, 2);
+        EXPECT_NO_FATAL_FAILURE(k.validate()) << v;
+        EXPECT_EQ(k.shapes[0].length(), 66u);
+    }
+}
+
+TEST(ConflictMicro, Variant0IsSingleBankPerWarp)
+{
+    KernelDesc k = makeConflictMicro(0, 32, 1);
+    for (const Instruction &inst : k.shapes[0].code) {
+        if (inst.op != Opcode::FMA)
+            continue;
+        // All operands even -> same bank under the 2-bank swizzle.
+        for (RegIndex r : inst.srcs) {
+            if (r != kNoReg) {
+                EXPECT_EQ(r % 2, 0);
+            }
+        }
+    }
+}
+
+TEST(Suite, Has112UniqueApps)
+{
+    auto apps = standardSuite(0.5);
+    EXPECT_EQ(apps.size(), 112u);
+    std::set<std::string> names;
+    for (const auto &a : apps)
+        names.insert(a.name);
+    EXPECT_EQ(names.size(), 112u);
+}
+
+TEST(Suite, EightSuitesWithExpectedCounts)
+{
+    std::map<std::string, int> bySuite;
+    for (const auto &a : standardSuite(0.5))
+        ++bySuite[a.suite];
+    EXPECT_EQ(bySuite.size(), 8u);
+    EXPECT_EQ(bySuite["tpch-u"], 22);
+    EXPECT_EQ(bySuite["tpch-c"], 22);
+    EXPECT_EQ(bySuite["parboil"], 11);
+    EXPECT_EQ(bySuite["rodinia"], 20);
+    EXPECT_EQ(bySuite["cugraph"], 7);
+    EXPECT_EQ(bySuite["polybench"], 15);
+    EXPECT_EQ(bySuite["deepbench"], 8);
+    EXPECT_EQ(bySuite["cutlass"], 7);
+}
+
+TEST(Suite, SubsetsResolve)
+{
+    EXPECT_EQ(sensitiveApps(0.5).size(), 25u);
+    EXPECT_FALSE(rfSensitiveApps(0.5).empty());
+    EXPECT_EQ(findApp("pb-mriq", 0.5).suite, "parboil");
+}
+
+TEST(SuiteDeath, UnknownAppAndSuite)
+{
+    EXPECT_EXIT(findApp("pb-nope", 1.0), ::testing::ExitedWithCode(1),
+                "unknown application");
+    EXPECT_EXIT(suiteApps("spec2006", 1.0),
+                ::testing::ExitedWithCode(1), "unknown suite");
+}
+
+TEST(Suite, ScaleShrinksGrids)
+{
+    AppSpec big = findApp("tpcU-q1", 1.0);
+    AppSpec small = findApp("tpcU-q1", 0.25);
+    EXPECT_LT(small.numBlocks, big.numBlocks);
+    EXPECT_GE(small.numBlocks, 8);
+}
+
+TEST(Builder, EveryAppBuildsAndValidates)
+{
+    for (const auto &spec : standardSuite(0.1)) {
+        Application app = buildApp(spec);
+        EXPECT_NO_FATAL_FAILURE(app.validate()) << spec.name;
+        EXPECT_EQ(app.name, spec.name);
+        EXPECT_EQ(static_cast<int>(app.kernels.size()),
+                  spec.numKernels);
+        EXPECT_GT(app.totalWarpInstructions(), 0u);
+    }
+}
+
+TEST(Builder, DeterministicForName)
+{
+    AppSpec spec = findApp("cg-lou", 0.2);
+    Application a = buildApp(spec);
+    Application b = buildApp(spec);
+    EXPECT_EQ(a.totalWarpInstructions(), b.totalWarpInstructions());
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+        ASSERT_EQ(a.kernels[k].shapes.size(),
+                  b.kernels[k].shapes.size());
+        for (std::size_t s = 0; s < a.kernels[k].shapes.size(); ++s)
+            EXPECT_EQ(a.kernels[k].shapes[s].length(),
+                      b.kernels[k].shapes[s].length());
+    }
+}
+
+TEST(Builder, SaltChangesTheApp)
+{
+    AppSpec spec = findApp("cg-lou", 0.2);
+    Application a = buildApp(spec, 0);
+    Application b = buildApp(spec, 1);
+    EXPECT_NE(a.totalWarpInstructions(), b.totalWarpInstructions());
+}
+
+TEST(Builder, DivergencePatternShowsUpInShapeLengths)
+{
+    AppSpec spec = findApp("tpcU-q8", 0.2);
+    Application app = buildApp(spec);
+    // Kernel 0 is divergent: warp slot 0 must be several times longer
+    // than slot 1 (pattern amp,1,1,1 with noise).
+    const KernelDesc &k = app.kernels.front();
+    double ratio = static_cast<double>(k.programOf(0).length())
+        / static_cast<double>(k.programOf(1).length());
+    EXPECT_GT(ratio, 2.5);
+    // The last kernel is balanced: all warps near-equal.
+    const KernelDesc &last = app.kernels.back();
+    double balanced = static_cast<double>(last.programOf(0).length())
+        / static_cast<double>(last.programOf(1).length());
+    EXPECT_LT(balanced, 1.5);
+    EXPECT_GT(balanced, 0.6);
+}
+
+TEST(Builder, MixFractionsRoughlyHonored)
+{
+    AppSpec spec;
+    spec.name = "mixcheck";
+    spec.fmaFrac = 0.5;
+    spec.memFrac = 0.2;
+    spec.sfuFrac = 0.1;
+    spec.baseInsts = 4000;
+    spec.numBlocks = 8;
+    spec.divKernelFrac = 0.0;   // balanced kernel keeps the raw mix
+    Application app = buildApp(spec);
+    int fma = 0, mem = 0, sfu = 0, total = 0;
+    for (const auto &inst : app.kernels[0].shapes[0].code) {
+        if (!inst.usesCollector())
+            continue;
+        ++total;
+        fma += inst.op == Opcode::FMA;
+        mem += isMemory(inst.op);
+        sfu += inst.op == Opcode::SFU;
+    }
+    auto frac = [&](int n) {
+        return static_cast<double>(n) / total;
+    };
+    EXPECT_NEAR(frac(fma), 0.5, 0.06);
+    EXPECT_NEAR(frac(mem), 0.2, 0.05);
+    EXPECT_NEAR(frac(sfu), 0.1, 0.04);
+}
+
+TEST(Builder, SharedMemoryAppsEmitLds)
+{
+    AppSpec spec = findApp("pb-sgemm", 0.1);
+    Application app = buildApp(spec);
+    bool sawLds = false;
+    for (const auto &inst : app.kernels[0].shapes[0].code)
+        sawLds = sawLds || inst.op == Opcode::LDS;
+    EXPECT_TRUE(sawLds);
+}
+
+TEST(Builder, RegistersStayInWindow)
+{
+    for (const char *name : { "cg-lou", "pb-mriq", "tpcC-q3" }) {
+        AppSpec spec = findApp(name, 0.1);
+        Application app = buildApp(spec);
+        int window = std::max(spec.regsPerThread, spec.regWindow);
+        for (const auto &k : app.kernels)
+            for (const auto &shape : k.shapes)
+                for (const auto &inst : shape.code) {
+                    if (inst.dst != kNoReg) {
+                        EXPECT_LT(inst.dst, window);
+                    }
+                    for (RegIndex r : inst.srcs) {
+                        if (r != kNoReg) {
+                            EXPECT_LT(r, window);
+                        }
+                    }
+                }
+    }
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Command-line driver for SubCoreSim.
+ *
+ *   scsim_cli run  --app tpcU-q8 [--scale 0.5] [--sms 8]
+ *                  [--set scheduler=RBA] [--set assign=SRR]
+ *                  [--config file.cfg] [--concurrent] [--salt N]
+ *   scsim_cli run  --trace app.sctrace [...]
+ *   scsim_cli run  --micro fma-unbalanced | imbalance:8 | conflict:3
+ *   scsim_cli list [--suite parboil]
+ *   scsim_cli dump --app cg-lou --out cg-lou.sctrace [--scale 0.5]
+ *   scsim_cli info [--set key=value ...]
+ *
+ * Exit code 0 on success; configuration or workload errors terminate
+ * with a message on stderr (exit 1).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gpu/gpu_sim.hh"
+#include "trace/trace_io.hh"
+#include "workloads/microbench.hh"
+#include "workloads/suite.hh"
+
+using namespace scsim;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+    std::vector<std::string> sets;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        scsim_fatal("usage: scsim_cli <run|list|dump|info> [options]");
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag.rfind("--", 0) != 0)
+            scsim_fatal("unexpected argument '%s'", flag.c_str());
+        flag = flag.substr(2);
+        if (flag == "concurrent") {
+            args.options[flag] = "1";
+            continue;
+        }
+        if (i + 1 >= argc)
+            scsim_fatal("--%s needs a value", flag.c_str());
+        std::string value = argv[++i];
+        if (flag == "set")
+            args.sets.push_back(value);
+        else
+            args.options[flag] = value;
+    }
+    return args;
+}
+
+GpuConfig
+configFor(const Args &args)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 8;
+    if (auto it = args.options.find("config"); it != args.options.end())
+        cfg.loadFile(it->second);
+    if (auto it = args.options.find("sms"); it != args.options.end())
+        cfg.set("numSms", it->second);
+    for (const std::string &kv : args.sets) {
+        auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            scsim_fatal("--set expects key=value, got '%s'", kv.c_str());
+        cfg.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    cfg.validate();
+    return cfg;
+}
+
+double
+scaleFor(const Args &args)
+{
+    auto it = args.options.find("scale");
+    return it != args.options.end() ? std::stod(it->second) : 0.5;
+}
+
+Application
+workloadFor(const Args &args)
+{
+    double scale = scaleFor(args);
+    std::uint64_t salt = 0;
+    if (auto it = args.options.find("salt"); it != args.options.end())
+        salt = std::stoull(it->second);
+
+    if (auto it = args.options.find("app"); it != args.options.end())
+        return buildApp(findApp(it->second, scale), salt);
+    if (auto it = args.options.find("trace"); it != args.options.end())
+        return loadApplication(it->second);
+    if (auto it = args.options.find("micro"); it != args.options.end()) {
+        const std::string &m = it->second;
+        Application app;
+        app.name = m;
+        app.suite = "micro";
+        if (m == "fma-baseline")
+            app.kernels.push_back(makeFmaMicro(FmaLayout::Baseline));
+        else if (m == "fma-balanced")
+            app.kernels.push_back(makeFmaMicro(FmaLayout::Balanced));
+        else if (m == "fma-unbalanced")
+            app.kernels.push_back(makeFmaMicro(FmaLayout::Unbalanced));
+        else if (m.rfind("imbalance:", 0) == 0)
+            app.kernels.push_back(
+                makeImbalanceMicro(std::stod(m.substr(10))));
+        else if (m.rfind("conflict:", 0) == 0)
+            app.kernels.push_back(
+                makeConflictMicro(std::stoi(m.substr(9))));
+        else
+            scsim_fatal("unknown micro '%s'", m.c_str());
+        return app;
+    }
+    scsim_fatal("run/dump need --app, --trace or --micro");
+}
+
+int
+cmdRun(const Args &args)
+{
+    GpuConfig cfg = configFor(args);
+    Application app = workloadFor(args);
+    GpuSim sim(cfg);
+    bool concurrent = args.options.count("concurrent") > 0;
+    SimStats s = concurrent ? sim.runConcurrent(app) : sim.run(app);
+
+    std::printf("app                : %s (%zu kernel%s%s)\n",
+                app.name.c_str(), app.kernels.size(),
+                app.kernels.size() == 1 ? "" : "s",
+                concurrent ? ", concurrent" : "");
+    std::printf("config             : %d SMs x %d sub-cores, %s + %s%s\n",
+                cfg.numSms, cfg.subCores, toString(cfg.scheduler),
+                toString(cfg.assign),
+                cfg.idealWarpMigration ? " + migration-oracle" : "");
+    std::printf("cycles             : %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("warp instructions  : %llu (IPC %.3f)\n",
+                static_cast<unsigned long long>(s.instructions),
+                s.ipc());
+    std::printf("blocks / warps done: %llu / %llu\n",
+                static_cast<unsigned long long>(s.blocksCompleted),
+                static_cast<unsigned long long>(s.warpsCompleted));
+    std::printf("RF reads per cycle : %.1f  (conflict-cycles %llu)\n",
+                static_cast<double>(s.rfReads)
+                    / static_cast<double>(s.cycles),
+                static_cast<unsigned long long>(
+                    s.rfBankConflictCycles));
+    if (s.l1Accesses)
+        std::printf("L1 / L2 hit rate   : %.1f%% / %.1f%%\n",
+                    100.0 * (1.0 - static_cast<double>(s.l1Misses)
+                                       / static_cast<double>(
+                                             s.l1Accesses)),
+                    s.l2Accesses
+                        ? 100.0 * (1.0
+                                   - static_cast<double>(s.l2Misses)
+                                         / static_cast<double>(
+                                               s.l2Accesses))
+                        : 0.0);
+    std::printf("issue CoV          : %.3f\n", s.issueCov());
+    if (s.warpMigrations)
+        std::printf("warp migrations    : %llu\n",
+                    static_cast<unsigned long long>(s.warpMigrations));
+    for (const auto &[name, span] : s.kernelSpans)
+        std::printf("  kernel %-24s %llu cycles\n", name.c_str(),
+                    static_cast<unsigned long long>(span));
+    return 0;
+}
+
+int
+cmdList(const Args &args)
+{
+    std::vector<AppSpec> apps;
+    if (auto it = args.options.find("suite"); it != args.options.end())
+        apps = suiteApps(it->second);
+    else
+        apps = standardSuite();
+    std::string last;
+    for (const AppSpec &a : apps) {
+        if (a.suite != last) {
+            std::printf("[%s]\n", a.suite.c_str());
+            last = a.suite;
+        }
+        std::printf("  %-14s blocks=%-4d warps/block=%-3d kernels=%d\n",
+                    a.name.c_str(), a.numBlocks, a.warpsPerBlock,
+                    a.numKernels);
+    }
+    return 0;
+}
+
+int
+cmdDump(const Args &args)
+{
+    auto it = args.options.find("out");
+    if (it == args.options.end())
+        scsim_fatal("dump needs --out <file>");
+    Application app = workloadFor(args);
+    saveApplication(it->second, app);
+    std::printf("wrote %s: %zu kernels, %llu warp instructions\n",
+                it->second.c_str(), app.kernels.size(),
+                static_cast<unsigned long long>(
+                    app.totalWarpInstructions()));
+    return 0;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    GpuConfig cfg = configFor(args);
+    std::printf("numSms=%d subCores=%d scheduler=%s assign=%s\n",
+                cfg.numSms, cfg.subCores, toString(cfg.scheduler),
+                toString(cfg.assign));
+    std::printf("banks/sub-core=%d CUs/sub-core=%d regfile/sub-core=%u "
+                "KB\n", cfg.banksPerCluster(), cfg.cusPerCluster(),
+                cfg.regFileBytesPerCluster() / 1024);
+    std::printf("issueWidth=%d sharedPool=%d bankStealing=%d "
+                "migrationOracle=%d rbaLatency=%d hashEntries=%d\n",
+                cfg.issueWidthPerScheduler, cfg.sharedWarpPool,
+                cfg.bankStealing, cfg.idealWarpMigration,
+                cfg.rbaScoreLatency, cfg.hashTableEntries);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    if (args.command == "run")
+        return cmdRun(args);
+    if (args.command == "list")
+        return cmdList(args);
+    if (args.command == "dump")
+        return cmdDump(args);
+    if (args.command == "info")
+        return cmdInfo(args);
+    scsim_fatal("unknown command '%s' (try run/list/dump/info)",
+                args.command.c_str());
+}
