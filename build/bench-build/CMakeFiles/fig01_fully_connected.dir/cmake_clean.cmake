@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_fully_connected"
+  "../bench/fig01_fully_connected.pdb"
+  "CMakeFiles/fig01_fully_connected.dir/fig01_fully_connected.cc.o"
+  "CMakeFiles/fig01_fully_connected.dir/fig01_fully_connected.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_fully_connected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_fma_hardware"
+  "../bench/fig03_fma_hardware.pdb"
+  "CMakeFiles/fig03_fma_hardware.dir/fig03_fma_hardware.cc.o"
+  "CMakeFiles/fig03_fma_hardware.dir/fig03_fma_hardware.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fma_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

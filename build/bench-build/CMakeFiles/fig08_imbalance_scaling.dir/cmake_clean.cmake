@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_imbalance_scaling"
+  "../bench/fig08_imbalance_scaling.pdb"
+  "CMakeFiles/fig08_imbalance_scaling.dir/fig08_imbalance_scaling.cc.o"
+  "CMakeFiles/fig08_imbalance_scaling.dir/fig08_imbalance_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_imbalance_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_all_apps"
+  "../bench/fig09_all_apps.pdb"
+  "CMakeFiles/fig09_all_apps.dir/fig09_all_apps.cc.o"
+  "CMakeFiles/fig09_all_apps.dir/fig09_all_apps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_all_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sensitive_apps"
+  "../bench/fig10_sensitive_apps.pdb"
+  "CMakeFiles/fig10_sensitive_apps.dir/fig10_sensitive_apps.cc.o"
+  "CMakeFiles/fig10_sensitive_apps.dir/fig10_sensitive_apps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sensitive_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

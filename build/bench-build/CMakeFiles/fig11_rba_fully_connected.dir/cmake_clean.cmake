@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_rba_fully_connected"
+  "../bench/fig11_rba_fully_connected.pdb"
+  "CMakeFiles/fig11_rba_fully_connected.dir/fig11_rba_fully_connected.cc.o"
+  "CMakeFiles/fig11_rba_fully_connected.dir/fig11_rba_fully_connected.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rba_fully_connected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

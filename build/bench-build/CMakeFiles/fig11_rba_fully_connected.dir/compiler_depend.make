@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_rba_fully_connected.
+# This may be replaced when dependencies are built.

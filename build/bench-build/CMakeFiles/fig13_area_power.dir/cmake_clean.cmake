@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_area_power"
+  "../bench/fig13_area_power.pdb"
+  "CMakeFiles/fig13_area_power.dir/fig13_area_power.cc.o"
+  "CMakeFiles/fig13_area_power.dir/fig13_area_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_rf_timeseries"
+  "../bench/fig14_rf_timeseries.pdb"
+  "CMakeFiles/fig14_rf_timeseries.dir/fig14_rf_timeseries.cc.o"
+  "CMakeFiles/fig14_rf_timeseries.dir/fig14_rf_timeseries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rf_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_tpch_compressed"
+  "../bench/fig15_tpch_compressed.pdb"
+  "CMakeFiles/fig15_tpch_compressed.dir/fig15_tpch_compressed.cc.o"
+  "CMakeFiles/fig15_tpch_compressed.dir/fig15_tpch_compressed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tpch_compressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_tpch_uncompressed"
+  "../bench/fig16_tpch_uncompressed.pdb"
+  "CMakeFiles/fig16_tpch_uncompressed.dir/fig16_tpch_uncompressed.cc.o"
+  "CMakeFiles/fig16_tpch_uncompressed.dir/fig16_tpch_uncompressed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tpch_uncompressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_issue_cov"
+  "../bench/fig17_issue_cov.pdb"
+  "CMakeFiles/fig17_issue_cov.dir/fig17_issue_cov.cc.o"
+  "CMakeFiles/fig17_issue_cov.dir/fig17_issue_cov.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_issue_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

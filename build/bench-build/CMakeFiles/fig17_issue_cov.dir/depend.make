@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_issue_cov.
+# This may be replaced when dependencies are built.

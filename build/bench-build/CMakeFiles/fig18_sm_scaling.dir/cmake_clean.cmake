@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_sm_scaling"
+  "../bench/fig18_sm_scaling.pdb"
+  "CMakeFiles/fig18_sm_scaling.dir/fig18_sm_scaling.cc.o"
+  "CMakeFiles/fig18_sm_scaling.dir/fig18_sm_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

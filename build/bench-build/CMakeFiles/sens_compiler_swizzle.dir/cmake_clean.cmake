@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_compiler_swizzle"
+  "../bench/sens_compiler_swizzle.pdb"
+  "CMakeFiles/sens_compiler_swizzle.dir/sens_compiler_swizzle.cc.o"
+  "CMakeFiles/sens_compiler_swizzle.dir/sens_compiler_swizzle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_compiler_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_four_effects"
+  "../bench/sens_four_effects.pdb"
+  "CMakeFiles/sens_four_effects.dir/sens_four_effects.cc.o"
+  "CMakeFiles/sens_four_effects.dir/sens_four_effects.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_four_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_hash_table"
+  "../bench/sens_hash_table.pdb"
+  "CMakeFiles/sens_hash_table.dir/sens_hash_table.cc.o"
+  "CMakeFiles/sens_hash_table.dir/sens_hash_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

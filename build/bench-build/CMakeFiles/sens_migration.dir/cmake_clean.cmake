@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_migration"
+  "../bench/sens_migration.pdb"
+  "CMakeFiles/sens_migration.dir/sens_migration.cc.o"
+  "CMakeFiles/sens_migration.dir/sens_migration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

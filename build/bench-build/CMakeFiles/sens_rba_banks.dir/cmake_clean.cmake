@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_rba_banks"
+  "../bench/sens_rba_banks.pdb"
+  "CMakeFiles/sens_rba_banks.dir/sens_rba_banks.cc.o"
+  "CMakeFiles/sens_rba_banks.dir/sens_rba_banks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_rba_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

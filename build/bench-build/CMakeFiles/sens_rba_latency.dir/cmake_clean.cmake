@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_rba_latency"
+  "../bench/sens_rba_latency.pdb"
+  "CMakeFiles/sens_rba_latency.dir/sens_rba_latency.cc.o"
+  "CMakeFiles/sens_rba_latency.dir/sens_rba_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_rba_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

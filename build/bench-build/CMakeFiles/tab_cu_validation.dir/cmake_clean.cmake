@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_cu_validation"
+  "../bench/tab_cu_validation.pdb"
+  "CMakeFiles/tab_cu_validation.dir/tab_cu_validation.cc.o"
+  "CMakeFiles/tab_cu_validation.dir/tab_cu_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cu_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_specialization.dir/warp_specialization.cpp.o"
+  "CMakeFiles/warp_specialization.dir/warp_specialization.cpp.o.d"
+  "warp_specialization"
+  "warp_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_common.dir/common/logging.cc.o"
+  "CMakeFiles/scsim_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/scsim_common.dir/common/rng.cc.o"
+  "CMakeFiles/scsim_common.dir/common/rng.cc.o.d"
+  "libscsim_common.a"
+  "libscsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscsim_common.a"
+)

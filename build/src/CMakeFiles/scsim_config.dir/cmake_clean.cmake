@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_config.dir/config/gpu_config.cc.o"
+  "CMakeFiles/scsim_config.dir/config/gpu_config.cc.o.d"
+  "libscsim_config.a"
+  "libscsim_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

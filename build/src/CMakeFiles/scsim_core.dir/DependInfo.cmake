@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assign.cc" "src/CMakeFiles/scsim_core.dir/core/assign.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/assign.cc.o.d"
+  "/root/repo/src/core/exec_unit.cc" "src/CMakeFiles/scsim_core.dir/core/exec_unit.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/exec_unit.cc.o.d"
+  "/root/repo/src/core/issue_cluster.cc" "src/CMakeFiles/scsim_core.dir/core/issue_cluster.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/issue_cluster.cc.o.d"
+  "/root/repo/src/core/operand_collector.cc" "src/CMakeFiles/scsim_core.dir/core/operand_collector.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/operand_collector.cc.o.d"
+  "/root/repo/src/core/reg_file.cc" "src/CMakeFiles/scsim_core.dir/core/reg_file.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/reg_file.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/scsim_core.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/scoreboard.cc" "src/CMakeFiles/scsim_core.dir/core/scoreboard.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/scoreboard.cc.o.d"
+  "/root/repo/src/core/sm_core.cc" "src/CMakeFiles/scsim_core.dir/core/sm_core.cc.o" "gcc" "src/CMakeFiles/scsim_core.dir/core/sm_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_core.dir/core/assign.cc.o"
+  "CMakeFiles/scsim_core.dir/core/assign.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/exec_unit.cc.o"
+  "CMakeFiles/scsim_core.dir/core/exec_unit.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/issue_cluster.cc.o"
+  "CMakeFiles/scsim_core.dir/core/issue_cluster.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/operand_collector.cc.o"
+  "CMakeFiles/scsim_core.dir/core/operand_collector.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/reg_file.cc.o"
+  "CMakeFiles/scsim_core.dir/core/reg_file.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/scheduler.cc.o"
+  "CMakeFiles/scsim_core.dir/core/scheduler.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/scoreboard.cc.o"
+  "CMakeFiles/scsim_core.dir/core/scoreboard.cc.o.d"
+  "CMakeFiles/scsim_core.dir/core/sm_core.cc.o"
+  "CMakeFiles/scsim_core.dir/core/sm_core.cc.o.d"
+  "libscsim_core.a"
+  "libscsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_gpu.dir/gpu/block_scheduler.cc.o"
+  "CMakeFiles/scsim_gpu.dir/gpu/block_scheduler.cc.o.d"
+  "CMakeFiles/scsim_gpu.dir/gpu/gpu_sim.cc.o"
+  "CMakeFiles/scsim_gpu.dir/gpu/gpu_sim.cc.o.d"
+  "libscsim_gpu.a"
+  "libscsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/scsim_isa.dir/isa/instruction.cc.o.d"
+  "libscsim_isa.a"
+  "libscsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

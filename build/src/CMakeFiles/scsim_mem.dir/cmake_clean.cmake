@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/scsim_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/scsim_mem.dir/mem/mem_system.cc.o"
+  "CMakeFiles/scsim_mem.dir/mem/mem_system.cc.o.d"
+  "libscsim_mem.a"
+  "libscsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

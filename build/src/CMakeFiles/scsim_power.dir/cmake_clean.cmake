@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_power.dir/power/cost_model.cc.o"
+  "CMakeFiles/scsim_power.dir/power/cost_model.cc.o.d"
+  "libscsim_power.a"
+  "libscsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

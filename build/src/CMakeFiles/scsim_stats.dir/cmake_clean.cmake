@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_stats.dir/stats/stats.cc.o"
+  "CMakeFiles/scsim_stats.dir/stats/stats.cc.o.d"
+  "libscsim_stats.a"
+  "libscsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_trace.dir/trace/kernel.cc.o"
+  "CMakeFiles/scsim_trace.dir/trace/kernel.cc.o.d"
+  "CMakeFiles/scsim_trace.dir/trace/reg_realloc.cc.o"
+  "CMakeFiles/scsim_trace.dir/trace/reg_realloc.cc.o.d"
+  "CMakeFiles/scsim_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/scsim_trace.dir/trace/trace_io.cc.o.d"
+  "libscsim_trace.a"
+  "libscsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

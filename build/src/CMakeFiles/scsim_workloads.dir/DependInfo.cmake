@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/calibration.cc" "src/CMakeFiles/scsim_workloads.dir/workloads/calibration.cc.o" "gcc" "src/CMakeFiles/scsim_workloads.dir/workloads/calibration.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/CMakeFiles/scsim_workloads.dir/workloads/microbench.cc.o" "gcc" "src/CMakeFiles/scsim_workloads.dir/workloads/microbench.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/scsim_workloads.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/scsim_workloads.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_workloads.dir/workloads/calibration.cc.o"
+  "CMakeFiles/scsim_workloads.dir/workloads/calibration.cc.o.d"
+  "CMakeFiles/scsim_workloads.dir/workloads/microbench.cc.o"
+  "CMakeFiles/scsim_workloads.dir/workloads/microbench.cc.o.d"
+  "CMakeFiles/scsim_workloads.dir/workloads/suite.cc.o"
+  "CMakeFiles/scsim_workloads.dir/workloads/suite.cc.o.d"
+  "libscsim_workloads.a"
+  "libscsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_scheduler.dir/test_block_scheduler.cc.o"
+  "CMakeFiles/test_block_scheduler.dir/test_block_scheduler.cc.o.d"
+  "test_block_scheduler"
+  "test_block_scheduler.pdb"
+  "test_block_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_unit.dir/test_exec_unit.cc.o"
+  "CMakeFiles/test_exec_unit.dir/test_exec_unit.cc.o.d"
+  "test_exec_unit"
+  "test_exec_unit.pdb"
+  "test_exec_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_issue_cluster.dir/test_issue_cluster.cc.o"
+  "CMakeFiles/test_issue_cluster.dir/test_issue_cluster.cc.o.d"
+  "test_issue_cluster"
+  "test_issue_cluster.pdb"
+  "test_issue_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_issue_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

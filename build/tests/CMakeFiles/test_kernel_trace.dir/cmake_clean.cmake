@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_trace.dir/test_kernel_trace.cc.o"
+  "CMakeFiles/test_kernel_trace.dir/test_kernel_trace.cc.o.d"
+  "test_kernel_trace"
+  "test_kernel_trace.pdb"
+  "test_kernel_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

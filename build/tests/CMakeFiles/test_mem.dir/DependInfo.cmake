@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/test_mem.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operand_collector.dir/test_operand_collector.cc.o"
+  "CMakeFiles/test_operand_collector.dir/test_operand_collector.cc.o.d"
+  "test_operand_collector"
+  "test_operand_collector.pdb"
+  "test_operand_collector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operand_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

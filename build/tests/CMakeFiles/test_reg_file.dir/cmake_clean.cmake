@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reg_file.dir/test_reg_file.cc.o"
+  "CMakeFiles/test_reg_file.dir/test_reg_file.cc.o.d"
+  "test_reg_file"
+  "test_reg_file.pdb"
+  "test_reg_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reg_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

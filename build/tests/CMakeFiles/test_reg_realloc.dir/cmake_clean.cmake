@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reg_realloc.dir/test_reg_realloc.cc.o"
+  "CMakeFiles/test_reg_realloc.dir/test_reg_realloc.cc.o.d"
+  "test_reg_realloc"
+  "test_reg_realloc.pdb"
+  "test_reg_realloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reg_realloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

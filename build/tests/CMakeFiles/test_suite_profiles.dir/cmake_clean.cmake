@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_profiles.dir/test_suite_profiles.cc.o"
+  "CMakeFiles/test_suite_profiles.dir/test_suite_profiles.cc.o.d"
+  "test_suite_profiles"
+  "test_suite_profiles.pdb"
+  "test_suite_profiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_scoreboard[1]_include.cmake")
+include("/root/repo/build/tests/test_reg_file[1]_include.cmake")
+include("/root/repo/build/tests/test_operand_collector[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_assign[1]_include.cmake")
+include("/root/repo/build/tests/test_exec_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_sm_core[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_paper[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_block_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_reg_realloc[1]_include.cmake")
+include("/root/repo/build/tests/test_issue_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_profiles[1]_include.cmake")

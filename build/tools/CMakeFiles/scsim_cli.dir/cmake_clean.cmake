@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scsim_cli.dir/scsim_cli.cc.o"
+  "CMakeFiles/scsim_cli.dir/scsim_cli.cc.o.d"
+  "scsim_cli"
+  "scsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
