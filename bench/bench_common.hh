@@ -13,50 +13,27 @@
 #define SCSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "config/gpu_config.hh"
 #include "gpu/gpu_sim.hh"
+#include "runner/design.hh"
+#include "runner/report.hh"
+#include "runner/sweep_engine.hh"
 #include "stats/stats.hh"
 #include "workloads/suite.hh"
 
 namespace scsim::bench {
 
-/** The design points evaluated across the paper's figures. */
-enum class Design
-{
-    Baseline,        //!< GTO + RR on the partitioned SM
-    RBA,
-    SRR,
-    Shuffle,
-    ShuffleRBA,
-    FullyConnected,
-    FullyConnectedRBA,
-    BankStealing,
-    Cus4,            //!< 4 CUs per sub-core
-    Cus8,
-    Cus16,
-};
-
-inline const char *
-toString(Design d)
-{
-    switch (d) {
-      case Design::Baseline:          return "Baseline";
-      case Design::RBA:               return "RBA";
-      case Design::SRR:               return "SRR";
-      case Design::Shuffle:           return "Shuffle";
-      case Design::ShuffleRBA:        return "Shuffle+RBA";
-      case Design::FullyConnected:    return "Fully-Connected";
-      case Design::FullyConnectedRBA: return "FC+RBA";
-      case Design::BankStealing:      return "BankStealing";
-      case Design::Cus4:              return "4 CUs";
-      case Design::Cus8:              return "8 CUs";
-      case Design::Cus16:             return "16 CUs";
-    }
-    return "?";
-}
+// The design-point vocabulary lives in the library (src/runner) so
+// the sweep engine and the CLI share it; re-exported here for the
+// figure binaries.
+using runner::Design;
+using runner::applyDesign;
+using runner::toString;
 
 /** Scaled-down Volta baseline used by the harness (see DESIGN.md). */
 inline GpuConfig
@@ -67,47 +44,49 @@ baseConfig(int numSms = 8)
     return cfg;
 }
 
-/** Apply one design point to a baseline configuration. */
-inline GpuConfig
-applyDesign(GpuConfig cfg, Design d)
+/** Results key for one (application, design) sweep point. */
+inline std::string
+jobTag(const AppSpec &app, Design d)
 {
-    switch (d) {
-      case Design::Baseline:
-        break;
-      case Design::RBA:
-        cfg.scheduler = SchedulerPolicy::RBA;
-        break;
-      case Design::SRR:
-        cfg.assign = AssignPolicy::SRR;
-        break;
-      case Design::Shuffle:
-        cfg.assign = AssignPolicy::Shuffle;
-        break;
-      case Design::ShuffleRBA:
-        cfg.scheduler = SchedulerPolicy::RBA;
-        cfg.assign = AssignPolicy::Shuffle;
-        break;
-      case Design::FullyConnected:
-        cfg.subCores = 1;
-        break;
-      case Design::FullyConnectedRBA:
-        cfg.subCores = 1;
-        cfg.scheduler = SchedulerPolicy::RBA;
-        break;
-      case Design::BankStealing:
-        cfg.bankStealing = true;
-        break;
-      case Design::Cus4:
-        cfg.collectorUnitsPerSm = 4 * cfg.subCores;
-        break;
-      case Design::Cus8:
-        cfg.collectorUnitsPerSm = 8 * cfg.subCores;
-        break;
-      case Design::Cus16:
-        cfg.collectorUnitsPerSm = 16 * cfg.subCores;
-        break;
+    return app.name + "|" + toString(d);
+}
+
+/**
+ * Run baseline + @p designs over @p apps on the sweep engine.  Worker
+ * count and cache directory come from the harness command line
+ * (`<bench> [scale] [jobs] [cache-dir]`); jobs == 0 means one worker
+ * per hardware thread, matching `scsim_cli sweep` defaults.
+ */
+inline runner::SweepResult
+runDesignSweep(const GpuConfig &base, const std::vector<AppSpec> &apps,
+               std::span<const Design> designs, int jobs = 0,
+               const std::string &cacheDir = {})
+{
+    runner::SweepSpec spec;
+    for (const AppSpec &app : apps) {
+        spec.add(jobTag(app, Design::Baseline), base, app);
+        for (Design d : designs)
+            if (d != Design::Baseline)
+                spec.add(jobTag(app, d), applyDesign(base, d), app);
     }
-    return cfg;
+    runner::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.cacheDir = cacheDir;
+    opts.progress = true;
+    runner::SweepEngine engine(opts);
+    runner::SweepResult res = engine.run(spec);
+    std::fprintf(stderr, "%s\n",
+                 runner::summaryLine(res, jobs).c_str());
+    return res;
+}
+
+/** Parse the shared trailing harness args: [jobs] [cache-dir]. */
+inline void
+parseSweepArgs(int argc, char **argv, int firstIdx, int &jobs,
+               std::string &cacheDir)
+{
+    jobs = argc > firstIdx ? std::atoi(argv[firstIdx]) : 0;
+    cacheDir = argc > firstIdx + 1 ? argv[firstIdx + 1] : "";
 }
 
 /** Cycles for @p app under @p cfg. */

@@ -4,6 +4,10 @@
  * RBA, SRR, Shuffle, Shuffle+RBA and the fully-connected SM,
  * normalized to the GTO + round-robin partitioned baseline.
  *
+ * Runs on the parallel sweep engine: `fig09_all_apps [scale] [jobs]
+ * [cache-dir]` (jobs 0 = one worker per hardware thread).  The rows
+ * are byte-identical for any worker count.
+ *
  * Paper: Shuffle+RBA averages +10.6%, fully-connected +13.2%; the
  * combined designs capture ~81% of the loss from sub-division.
  */
@@ -17,6 +21,10 @@ int
 main(int argc, char **argv)
 {
     double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+    int jobs;
+    std::string cacheDir;
+    parseSweepArgs(argc, argv, 2, jobs, cacheDir);
+
     const Design designs[] = { Design::RBA, Design::SRR, Design::Shuffle,
                                Design::ShuffleRBA,
                                Design::FullyConnected };
@@ -32,14 +40,16 @@ main(int argc, char **argv)
     printHeader("app", cols);
 
     GpuConfig base = baseConfig(6);
-    std::vector<std::vector<double>> perDesign(std::size(designs));
+    std::vector<AppSpec> apps = standardSuite(scale);
+    runner::SweepResult res =
+        runDesignSweep(base, apps, designs, jobs, cacheDir);
 
-    for (const AppSpec &spec : standardSuite(scale)) {
-        Cycle b = runApp(base, spec).cycles;
+    std::vector<std::vector<double>> perDesign(std::size(designs));
+    for (const AppSpec &spec : apps) {
+        Cycle b = res.cycles(jobTag(spec, Design::Baseline));
         std::vector<double> row;
         for (std::size_t i = 0; i < std::size(designs); ++i) {
-            double s = speedup(b, runApp(applyDesign(base, designs[i]),
-                                         spec).cycles);
+            double s = speedup(b, res.cycles(jobTag(spec, designs[i])));
             row.push_back(s);
             perDesign[i].push_back(s);
         }

@@ -4,6 +4,9 @@
  * to SM subdivision (the Table III subset), including the
  * register-bank-stealing [36] comparison and doubled collector units.
  *
+ * Runs on the parallel sweep engine: `fig10_sensitive_apps [scale]
+ * [jobs] [cache-dir]`.
+ *
  * Paper: RBA +11.1% average (beats doubling CUs at +4.1% with ~1%
  * area/power); bank stealing <1%; SRR/Shuffle preserve performance on
  * balanced apps and fix the TPC-H imbalance.
@@ -18,6 +21,10 @@ int
 main(int argc, char **argv)
 {
     double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+    int jobs;
+    std::string cacheDir;
+    parseSweepArgs(argc, argv, 2, jobs, cacheDir);
+
     const Design designs[] = { Design::RBA, Design::Cus4,
                                Design::BankStealing, Design::SRR,
                                Design::Shuffle, Design::ShuffleRBA,
@@ -34,14 +41,16 @@ main(int argc, char **argv)
     printHeader("app", cols);
 
     GpuConfig base = baseConfig(6);
-    std::vector<std::vector<double>> perDesign(std::size(designs));
+    std::vector<AppSpec> apps = sensitiveApps(scale);
+    runner::SweepResult res =
+        runDesignSweep(base, apps, designs, jobs, cacheDir);
 
-    for (const AppSpec &spec : sensitiveApps(scale)) {
-        Cycle b = runApp(base, spec).cycles;
+    std::vector<std::vector<double>> perDesign(std::size(designs));
+    for (const AppSpec &spec : apps) {
+        Cycle b = res.cycles(jobTag(spec, Design::Baseline));
         std::vector<double> row;
         for (std::size_t i = 0; i < std::size(designs); ++i) {
-            double s = speedup(b, runApp(applyDesign(base, designs[i]),
-                                         spec).cycles);
+            double s = speedup(b, res.cycles(jobTag(spec, designs[i])));
             row.push_back(s);
             perDesign[i].push_back(s);
         }

@@ -1,0 +1,96 @@
+#include "runner/design.hh"
+
+#include "common/logging.hh"
+
+namespace scsim::runner {
+
+const char *
+toString(Design d)
+{
+    switch (d) {
+      case Design::Baseline:          return "Baseline";
+      case Design::RBA:               return "RBA";
+      case Design::SRR:               return "SRR";
+      case Design::Shuffle:           return "Shuffle";
+      case Design::ShuffleRBA:        return "Shuffle+RBA";
+      case Design::FullyConnected:    return "Fully-Connected";
+      case Design::FullyConnectedRBA: return "FC+RBA";
+      case Design::BankStealing:      return "BankStealing";
+      case Design::Cus4:              return "4 CUs";
+      case Design::Cus8:              return "8 CUs";
+      case Design::Cus16:             return "16 CUs";
+    }
+    return "?";
+}
+
+Design
+parseDesign(const std::string &name)
+{
+    for (Design d : allDesigns())
+        if (name == toString(d))
+            return d;
+    // Identifier aliases usable on a command line (no '+', ' ', '-').
+    if (name == "ShuffleRBA")        return Design::ShuffleRBA;
+    if (name == "FullyConnected")    return Design::FullyConnected;
+    if (name == "FC")                return Design::FullyConnected;
+    if (name == "FullyConnectedRBA") return Design::FullyConnectedRBA;
+    if (name == "FCRBA")             return Design::FullyConnectedRBA;
+    if (name == "Cus4")              return Design::Cus4;
+    if (name == "Cus8")              return Design::Cus8;
+    if (name == "Cus16")             return Design::Cus16;
+    scsim_fatal("unknown design '%s'", name.c_str());
+}
+
+std::vector<Design>
+allDesigns()
+{
+    return { Design::Baseline, Design::RBA, Design::SRR,
+             Design::Shuffle, Design::ShuffleRBA,
+             Design::FullyConnected, Design::FullyConnectedRBA,
+             Design::BankStealing, Design::Cus4, Design::Cus8,
+             Design::Cus16 };
+}
+
+GpuConfig
+applyDesign(GpuConfig cfg, Design d)
+{
+    switch (d) {
+      case Design::Baseline:
+        break;
+      case Design::RBA:
+        cfg.scheduler = SchedulerPolicy::RBA;
+        break;
+      case Design::SRR:
+        cfg.assign = AssignPolicy::SRR;
+        break;
+      case Design::Shuffle:
+        cfg.assign = AssignPolicy::Shuffle;
+        break;
+      case Design::ShuffleRBA:
+        cfg.scheduler = SchedulerPolicy::RBA;
+        cfg.assign = AssignPolicy::Shuffle;
+        break;
+      case Design::FullyConnected:
+        cfg.subCores = 1;
+        break;
+      case Design::FullyConnectedRBA:
+        cfg.subCores = 1;
+        cfg.scheduler = SchedulerPolicy::RBA;
+        break;
+      case Design::BankStealing:
+        cfg.bankStealing = true;
+        break;
+      case Design::Cus4:
+        cfg.collectorUnitsPerSm = 4 * cfg.subCores;
+        break;
+      case Design::Cus8:
+        cfg.collectorUnitsPerSm = 8 * cfg.subCores;
+        break;
+      case Design::Cus16:
+        cfg.collectorUnitsPerSm = 16 * cfg.subCores;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace scsim::runner

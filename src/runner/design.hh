@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Named design points evaluated across the paper's figures.
+ *
+ * A Design is a delta on top of a baseline GpuConfig: the scheduler /
+ * assignment policy combinations of Section IV plus the
+ * fully-connected SM and the collector-unit / bank-stealing
+ * comparison points.  Lives in the library (rather than the bench
+ * harness) so the sweep engine, the CLI and the figure binaries all
+ * agree on what "Shuffle+RBA" means.
+ */
+
+#ifndef SCSIM_RUNNER_DESIGN_HH
+#define SCSIM_RUNNER_DESIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+
+namespace scsim::runner {
+
+/** The design points evaluated across the paper's figures. */
+enum class Design
+{
+    Baseline,        //!< GTO + RR on the partitioned SM
+    RBA,
+    SRR,
+    Shuffle,
+    ShuffleRBA,
+    FullyConnected,
+    FullyConnectedRBA,
+    BankStealing,
+    Cus4,            //!< 4 CUs per sub-core
+    Cus8,
+    Cus16,
+};
+
+const char *toString(Design d);
+
+/**
+ * Parse a design name; accepts both the display form ("Shuffle+RBA")
+ * and the identifier form ("ShuffleRBA").  Fatal on unknown names.
+ */
+Design parseDesign(const std::string &name);
+
+/** Every design point, in declaration order (Baseline first). */
+std::vector<Design> allDesigns();
+
+/** Apply one design point to a baseline configuration. */
+GpuConfig applyDesign(GpuConfig cfg, Design d);
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_DESIGN_HH

@@ -1,0 +1,206 @@
+#include "runner/job_key.hh"
+
+#include <cinttypes>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace scsim::runner {
+
+namespace {
+
+/**
+ * Builds "key=value;" lists with locale-independent, round-trippable
+ * number formatting so the canonical text is stable across hosts.
+ */
+class Canon
+{
+  public:
+    void
+    field(const char *key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        raw(key, buf);
+    }
+
+    void
+    field(const char *key, std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+        raw(key, buf);
+    }
+
+    void field(const char *key, std::uint32_t v)
+    { field(key, static_cast<std::uint64_t>(v)); }
+
+    void
+    field(const char *key, int v)
+    {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%d", v);
+        raw(key, buf);
+    }
+
+    void field(const char *key, bool v) { raw(key, v ? "1" : "0"); }
+
+    void
+    raw(const char *key, const std::string &v)
+    {
+        out_ += key;
+        out_ += '=';
+        out_ += v;
+        out_ += ';';
+    }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+} // namespace
+
+std::string
+canonicalText(const GpuConfig &cfg)
+{
+    // Every field of GpuConfig in declaration order.  When a field is
+    // added to the struct it must be added here, otherwise two
+    // configurations differing only in that field would collide; the
+    // test suite cross-checks a couple of representative knobs.
+    Canon c;
+    c.field("numSms", cfg.numSms);
+    c.field("schedulersPerSm", cfg.schedulersPerSm);
+    c.field("subCores", cfg.subCores);
+    c.field("rfBanksPerSm", cfg.rfBanksPerSm);
+    c.field("collectorUnitsPerSm", cfg.collectorUnitsPerSm);
+    c.field("maxWarpsPerSm", cfg.maxWarpsPerSm);
+    c.field("maxWarpsPerScheduler", cfg.maxWarpsPerScheduler);
+    c.field("maxBlocksPerSm", cfg.maxBlocksPerSm);
+    c.field("regFileBytesPerSm", cfg.regFileBytesPerSm);
+    c.field("smemBytesPerSm", cfg.smemBytesPerSm);
+    c.raw("scheduler", toString(cfg.scheduler));
+    c.raw("assign", toString(cfg.assign));
+    c.field("hashTableEntries", cfg.hashTableEntries);
+    c.field("rbaScoreLatency", cfg.rbaScoreLatency);
+    c.field("bankStealing", cfg.bankStealing);
+    c.field("idealWarpMigration", cfg.idealWarpMigration);
+    c.field("issueWidthPerScheduler", cfg.issueWidthPerScheduler);
+    c.field("sharedWarpPool", cfg.sharedWarpPool);
+    c.field("spPipesPerScheduler", cfg.spPipesPerScheduler);
+    c.field("spInitiation", cfg.spInitiation);
+    c.field("spLatency", cfg.spLatency);
+    c.field("sfuPipesPerScheduler", cfg.sfuPipesPerScheduler);
+    c.field("sfuInitiation", cfg.sfuInitiation);
+    c.field("sfuLatency", cfg.sfuLatency);
+    c.field("tensorPipesPerScheduler", cfg.tensorPipesPerScheduler);
+    c.field("tensorInitiation", cfg.tensorInitiation);
+    c.field("tensorLatency", cfg.tensorLatency);
+    c.field("ldstPipesPerScheduler", cfg.ldstPipesPerScheduler);
+    c.field("ldstInitiation", cfg.ldstInitiation);
+    c.field("l1Bytes", cfg.l1Bytes);
+    c.field("l1Ways", cfg.l1Ways);
+    c.field("l1LineBytes", cfg.l1LineBytes);
+    c.field("l1HitLatency", cfg.l1HitLatency);
+    c.field("l1PortsPerSm", cfg.l1PortsPerSm);
+    c.field("l2Bytes", cfg.l2Bytes);
+    c.field("l2Ways", cfg.l2Ways);
+    c.field("l2HitLatency", cfg.l2HitLatency);
+    c.field("dramLatency", cfg.dramLatency);
+    c.field("l2SectorsPerCyclePerSm", cfg.l2SectorsPerCyclePerSm);
+    c.field("dramSectorsPerCyclePerSm", cfg.dramSectorsPerCyclePerSm);
+    c.field("smemLatency", cfg.smemLatency);
+    c.field("maxCycles", cfg.maxCycles);
+    c.field("enableIdleSkip", cfg.enableIdleSkip);
+    c.field("seed", cfg.seed);
+    c.field("rfTraceEnable", cfg.rfTraceEnable);
+    c.field("rfTraceWindow", static_cast<std::uint64_t>(cfg.rfTraceWindow));
+    return c.take();
+}
+
+std::string
+canonicalText(const AppSpec &app)
+{
+    Canon c;
+    c.raw("name", app.name);
+    c.raw("suite", app.suite);
+    c.field("numBlocks", app.numBlocks);
+    c.field("warpsPerBlock", app.warpsPerBlock);
+    c.field("regsPerThread", app.regsPerThread);
+    c.field("smemBytesPerBlock", app.smemBytesPerBlock);
+    c.field("numKernels", app.numKernels);
+    c.field("baseInsts", app.baseInsts);
+    c.field("fmaFrac", app.fmaFrac);
+    c.field("sfuFrac", app.sfuFrac);
+    c.field("tensorFrac", app.tensorFrac);
+    c.field("memFrac", app.memFrac);
+    c.field("storeFrac", app.storeFrac);
+    c.field("ilp", app.ilp);
+    c.field("regWindow", app.regWindow);
+    c.field("conflictBias", app.conflictBias);
+    c.field("hotRegFrac", app.hotRegFrac);
+    {
+        std::string pat;
+        for (double d : app.divPattern) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.17g,", d);
+            pat += buf;
+        }
+        c.raw("divPattern", pat);
+    }
+    c.field("divNoise", app.divNoise);
+    c.field("divKernelFrac", app.divKernelFrac);
+    c.field("sectors", app.sectors);
+    c.field("footprintMB", app.footprintMB);
+    c.field("randomMem", app.randomMem);
+    return c.take();
+}
+
+std::string
+canonicalText(const SimJob &job)
+{
+    Canon c;
+    c.field("format", kResultFormatVersion);
+    c.raw("config", canonicalText(job.cfg));
+    c.raw("app", canonicalText(job.app));
+    c.field("salt", job.salt);
+    c.field("concurrent", job.concurrent);
+    return c.take();
+}
+
+std::uint64_t
+jobKey(const SimJob &job)
+{
+    return hashString(canonicalText(job));
+}
+
+std::string
+keyToHex(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, key);
+    return buf;
+}
+
+double
+SimJob::expectedCost() const
+{
+    double slotMean = 0.0;
+    for (double d : app.divPattern)
+        slotMean += d;
+    if (!app.divPattern.empty())
+        slotMean /= static_cast<double>(app.divPattern.size());
+    else
+        slotMean = 1.0;
+    double insts = static_cast<double>(app.numBlocks)
+        * app.warpsPerBlock * app.baseInsts * app.numKernels * slotMean;
+    // A fully-connected SM simulates the same work noticeably slower
+    // (one big cluster, more contention modeling per cycle).
+    if (cfg.subCores == 1)
+        insts *= 1.3;
+    return insts;
+}
+
+} // namespace scsim::runner

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Content-addressed job identity.
+ *
+ * A job's cache key is a 64-bit hash of the *canonical text* of
+ * everything that determines its result: every GpuConfig field, every
+ * AppSpec field (the workload id plus the scale-dependent geometry),
+ * the seed salt, the execution mode, and a format version that is
+ * bumped whenever simulator semantics or the serialization change.
+ * Two jobs with the same key are guaranteed byte-identical results,
+ * so a sweep can skip any point whose key is already cached.
+ */
+
+#ifndef SCSIM_RUNNER_JOB_KEY_HH
+#define SCSIM_RUNNER_JOB_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runner/sweep_spec.hh"
+
+namespace scsim::runner {
+
+/**
+ * Cache format / semantics version.  Bump to invalidate every cached
+ * result (e.g. after a change to simulator timing or serialization).
+ */
+inline constexpr std::uint32_t kResultFormatVersion = 1;
+
+/** Deterministic text form of every simulation-relevant config field. */
+std::string canonicalText(const GpuConfig &cfg);
+
+/** Deterministic text form of every workload-spec field. */
+std::string canonicalText(const AppSpec &app);
+
+/** Full canonical description of a job (config + app + salt + mode). */
+std::string canonicalText(const SimJob &job);
+
+/** 64-bit content hash of a job's canonical description. */
+std::uint64_t jobKey(const SimJob &job);
+
+/** Fixed-width lowercase hex form of a key (cache file stem). */
+std::string keyToHex(std::uint64_t key);
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_JOB_KEY_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structured sweep reporting: JSON and CSV manifests.
+ *
+ * A manifest records one entry per job, in spec order, containing the
+ * job identity (tag, app, content hash, config summary) and the
+ * headline statistics.  Manifests deliberately exclude anything
+ * execution-dependent — wall-clock, worker count, cache hit/miss —
+ * so the same sweep produces byte-identical manifests at any
+ * `--jobs N` and whether or not results came from the cache.
+ */
+
+#ifndef SCSIM_RUNNER_REPORT_HH
+#define SCSIM_RUNNER_REPORT_HH
+
+#include <string>
+
+#include "runner/sweep_engine.hh"
+#include "runner/sweep_spec.hh"
+
+namespace scsim::runner {
+
+/** Manifest schema version (bump on field changes). */
+inline constexpr int kManifestVersion = 1;
+
+/** The sweep manifest as a JSON document. */
+std::string jsonManifest(const SweepSpec &spec, const SweepResult &res);
+
+/** The sweep manifest as CSV (header + one row per job). */
+std::string csvManifest(const SweepSpec &spec, const SweepResult &res);
+
+/** Write @p text to @p path; fatal on I/O failure. */
+void writeFile(const std::string &path, const std::string &text);
+
+/**
+ * One-line execution summary (wall clock, cache hits, workers) for
+ * the progress stream — execution-dependent, so never in a manifest.
+ */
+std::string summaryLine(const SweepResult &res, int jobs);
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_REPORT_HH

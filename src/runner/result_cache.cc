@@ -1,0 +1,263 @@
+#include "runner/result_cache.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "runner/job_key.hh"
+
+namespace scsim::runner {
+
+namespace {
+
+constexpr const char *kMagic = "scsim-result";
+
+void
+putU64(std::string &out, const char *key, std::uint64_t v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", key, v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+serializeStats(const SimStats &stats)
+{
+    std::string out;
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s v%u\n", kMagic,
+                      kResultFormatVersion);
+        out += buf;
+    }
+    putU64(out, "cycles", stats.cycles);
+    putU64(out, "instructions", stats.instructions);
+    putU64(out, "threadInstructions", stats.threadInstructions);
+    putU64(out, "schedCycles", stats.schedCycles);
+    putU64(out, "issueSlotsUsed", stats.issueSlotsUsed);
+    putU64(out, "stallNoWarp", stats.stallNoWarp);
+    putU64(out, "stallScoreboard", stats.stallScoreboard);
+    putU64(out, "stallNoCu", stats.stallNoCu);
+    putU64(out, "cuTurnaroundSum", stats.cuTurnaroundSum);
+    putU64(out, "cuDispatches", stats.cuDispatches);
+    putU64(out, "rfReads", stats.rfReads);
+    putU64(out, "rfWrites", stats.rfWrites);
+    putU64(out, "rfBankConflictCycles", stats.rfBankConflictCycles);
+    putU64(out, "collectorFullStalls", stats.collectorFullStalls);
+    putU64(out, "execStructuralStalls", stats.execStructuralStalls);
+    putU64(out, "l1Accesses", stats.l1Accesses);
+    putU64(out, "l1Misses", stats.l1Misses);
+    putU64(out, "l2Accesses", stats.l2Accesses);
+    putU64(out, "l2Misses", stats.l2Misses);
+    putU64(out, "blocksCompleted", stats.blocksCompleted);
+    putU64(out, "warpsCompleted", stats.warpsCompleted);
+    putU64(out, "assignSpills", stats.assignSpills);
+    putU64(out, "warpMigrations", stats.warpMigrations);
+
+    for (const auto &row : stats.issuePerScheduler) {
+        out += "issueRow";
+        for (std::uint64_t v : row) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, " %" PRIu64, v);
+            out += buf;
+        }
+        out += '\n';
+    }
+    for (const auto &[name, span] : stats.kernelSpans) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, span);
+        out += "kernelSpan ";
+        out += buf;
+        out += ' ';
+        out += name;      // to end of line; names may contain spaces
+        out += '\n';
+    }
+    {
+        putU64(out, "rfTraceWindow", stats.rfReadTrace.window());
+        out += "rfTraceSamples";
+        for (double s : stats.rfReadTrace.samples()) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, " %.17g", s);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+deserializeStats(const std::string &text, SimStats &out)
+{
+    std::istringstream in(text);
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    {
+        char expect[64];
+        std::snprintf(expect, sizeof expect, "%s v%u", kMagic,
+                      kResultFormatVersion);
+        if (header != expect)
+            return false;
+    }
+
+    SimStats s;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+
+        auto u64 = [&](std::uint64_t &field) -> bool {
+            return static_cast<bool>(ls >> field);
+        };
+
+        if (key == "cycles") { if (!u64(s.cycles)) return false; }
+        else if (key == "instructions") { if (!u64(s.instructions)) return false; }
+        else if (key == "threadInstructions") { if (!u64(s.threadInstructions)) return false; }
+        else if (key == "schedCycles") { if (!u64(s.schedCycles)) return false; }
+        else if (key == "issueSlotsUsed") { if (!u64(s.issueSlotsUsed)) return false; }
+        else if (key == "stallNoWarp") { if (!u64(s.stallNoWarp)) return false; }
+        else if (key == "stallScoreboard") { if (!u64(s.stallScoreboard)) return false; }
+        else if (key == "stallNoCu") { if (!u64(s.stallNoCu)) return false; }
+        else if (key == "cuTurnaroundSum") { if (!u64(s.cuTurnaroundSum)) return false; }
+        else if (key == "cuDispatches") { if (!u64(s.cuDispatches)) return false; }
+        else if (key == "rfReads") { if (!u64(s.rfReads)) return false; }
+        else if (key == "rfWrites") { if (!u64(s.rfWrites)) return false; }
+        else if (key == "rfBankConflictCycles") { if (!u64(s.rfBankConflictCycles)) return false; }
+        else if (key == "collectorFullStalls") { if (!u64(s.collectorFullStalls)) return false; }
+        else if (key == "execStructuralStalls") { if (!u64(s.execStructuralStalls)) return false; }
+        else if (key == "l1Accesses") { if (!u64(s.l1Accesses)) return false; }
+        else if (key == "l1Misses") { if (!u64(s.l1Misses)) return false; }
+        else if (key == "l2Accesses") { if (!u64(s.l2Accesses)) return false; }
+        else if (key == "l2Misses") { if (!u64(s.l2Misses)) return false; }
+        else if (key == "blocksCompleted") { if (!u64(s.blocksCompleted)) return false; }
+        else if (key == "warpsCompleted") { if (!u64(s.warpsCompleted)) return false; }
+        else if (key == "assignSpills") { if (!u64(s.assignSpills)) return false; }
+        else if (key == "warpMigrations") { if (!u64(s.warpMigrations)) return false; }
+        else if (key == "issueRow") {
+            std::vector<std::uint64_t> row;
+            std::uint64_t v;
+            while (ls >> v)
+                row.push_back(v);
+            s.issuePerScheduler.push_back(std::move(row));
+        } else if (key == "kernelSpan") {
+            std::uint64_t span;
+            if (!(ls >> span))
+                return false;
+            std::string name;
+            std::getline(ls, name);
+            if (!name.empty() && name.front() == ' ')
+                name.erase(0, 1);
+            s.kernelSpans.emplace_back(std::move(name), span);
+        } else if (key == "rfTraceWindow") {
+            std::uint64_t w;
+            if (!u64(w))
+                return false;
+            s.rfReadTrace = TimeSeries{ w };
+        } else if (key == "rfTraceSamples") {
+            std::vector<double> samples;
+            double v;
+            while (ls >> v)
+                samples.push_back(v);
+            s.rfReadTrace.restoreSamples(std::move(samples));
+        }
+        // Unknown keys are skipped: forward-compatible within a
+        // format version bump.
+    }
+    out = std::move(s);
+    return true;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        scsim_fatal("cannot create cache directory '%s': %s",
+                    dir_.c_str(), ec.message().c_str());
+}
+
+std::string
+ResultCache::pathFor(std::uint64_t key) const
+{
+    return dir_ + "/" + keyToHex(key) + ".stats";
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, SimStats &out)
+{
+    std::lock_guard lock(mutex_);
+    if (auto it = memory_.find(key); it != memory_.end()) {
+        out = it->second;
+        ++hits_;
+        return true;
+    }
+    if (!dir_.empty()) {
+        std::ifstream in(pathFor(key));
+        if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            SimStats s;
+            if (deserializeStats(text.str(), s)) {
+                memory_.emplace(key, s);
+                out = std::move(s);
+                ++hits_;
+                return true;
+            }
+            scsim_warn("ignoring unreadable cache entry %s",
+                       pathFor(key).c_str());
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+ResultCache::store(std::uint64_t key, const SimStats &stats)
+{
+    std::lock_guard lock(mutex_);
+    memory_.insert_or_assign(key, stats);
+    if (dir_.empty())
+        return;
+    std::string path = pathFor(key);
+    std::string tmp = path + ".tmp" + keyToHex(key);
+    {
+        std::ofstream outFile(tmp, std::ios::trunc);
+        if (!outFile) {
+            scsim_warn("cannot write cache entry %s", tmp.c_str());
+            return;
+        }
+        outFile << serializeStats(stats);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        scsim_warn("cannot finalize cache entry %s: %s", path.c_str(),
+                   ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard lock(mutex_);
+    return misses_;
+}
+
+} // namespace scsim::runner

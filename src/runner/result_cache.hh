@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content-addressed simulation result cache.
+ *
+ * Results are stored twice: an in-memory map for hits within one
+ * process, and (when a directory is configured) one text file per key
+ * on disk so re-running a figure after an unrelated code change skips
+ * every already-computed point.  Disk entries are written to a
+ * temporary file and renamed into place, so concurrent writers and
+ * torn writes can never corrupt a visible entry; unreadable or
+ * version-skewed entries degrade to cache misses, never to errors.
+ *
+ * Layout: `<dir>/<16-hex-digit key>.stats`, one file per result, in a
+ * line-oriented `key value` format (see serializeStats).
+ */
+
+#ifndef SCSIM_RUNNER_RESULT_CACHE_HH
+#define SCSIM_RUNNER_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "stats/stats.hh"
+
+namespace scsim::runner {
+
+/** Deterministic text form of a SimStats record. */
+std::string serializeStats(const SimStats &stats);
+
+/** Inverse of serializeStats; false on malformed/version-skewed text. */
+bool deserializeStats(const std::string &text, SimStats &out);
+
+class ResultCache
+{
+  public:
+    /** Memory-only cache. */
+    ResultCache() = default;
+
+    /** Memory + disk cache rooted at @p dir (created if absent). */
+    explicit ResultCache(std::string dir);
+
+    /** True (and fills @p out) if @p key is cached in memory or disk. */
+    bool lookup(std::uint64_t key, SimStats &out);
+
+    /** Record @p stats under @p key in memory and, if set, on disk. */
+    void store(std::uint64_t key, const SimStats &stats);
+
+    const std::string &dir() const { return dir_; }
+
+    // Counters (monotonic, thread-safe via the cache mutex).
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+  private:
+    std::string pathFor(std::uint64_t key) const;
+
+    std::string dir_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, SimStats> memory_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_RESULT_CACHE_HH

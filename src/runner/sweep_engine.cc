@@ -1,0 +1,131 @@
+#include "runner/sweep_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "gpu/gpu_sim.hh"
+#include "runner/job_key.hh"
+#include "runner/worker_pool.hh"
+
+namespace scsim::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now()
+                                                     - start)
+        .count();
+}
+
+} // namespace
+
+const SimStats &
+SweepResult::stats(const std::string &tag) const
+{
+    for (std::size_t i = 0; i < tags.size(); ++i)
+        if (tags[i] == tag)
+            return results[i].stats;
+    scsim_fatal("sweep has no job tagged '%s'", tag.c_str());
+}
+
+Cycle
+SweepResult::cycles(const std::string &tag) const
+{
+    return stats(tag).cycles;
+}
+
+SweepEngine::SweepEngine(SweepOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheDir)
+{
+}
+
+SweepResult
+SweepEngine::run(const SweepSpec &spec)
+{
+    auto sweepStart = Clock::now();
+
+    std::unordered_set<std::string> seen;
+    for (const SimJob &job : spec.jobs) {
+        if (!seen.insert(job.tag).second)
+            scsim_fatal("duplicate sweep tag '%s'", job.tag.c_str());
+        job.cfg.validate();
+    }
+
+    SweepResult out;
+    out.tags.reserve(spec.jobs.size());
+    for (const SimJob &job : spec.jobs)
+        out.tags.push_back(job.tag);
+    out.results.resize(spec.jobs.size());
+
+    std::FILE *stream = opts_.progressStream ? opts_.progressStream
+                                             : stderr;
+    std::mutex progressMutex;
+    std::size_t done = 0;
+    auto report = [&](std::size_t idx, const JobResult &r) {
+        if (!opts_.progress)
+            return;
+        std::lock_guard lock(progressMutex);
+        ++done;
+        std::fprintf(stream,
+                     "[%3zu/%zu] %-28s %12llu cycles  ipc %5.2f  %s\n",
+                     done, spec.jobs.size(),
+                     spec.jobs[idx].tag.c_str(),
+                     static_cast<unsigned long long>(r.stats.cycles),
+                     r.stats.ipc(),
+                     r.cached
+                         ? "(cache)"
+                         : detail::format("(%.1fs)", r.wallMs / 1e3)
+                               .c_str());
+        std::fflush(stream);
+    };
+
+    // Phase 1: resolve cache hits and collect the misses.
+    std::vector<std::size_t> missIdx;
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        JobResult &r = out.results[i];
+        r.key = jobKey(spec.jobs[i]);
+        if (cache_.lookup(r.key, r.stats)) {
+            r.cached = true;
+            ++out.cacheHits;
+            report(i, r);
+        } else {
+            missIdx.push_back(i);
+        }
+    }
+
+    // Phase 2: longest expected job first (index tie-break keeps the
+    // order reproducible across runs).
+    std::stable_sort(missIdx.begin(), missIdx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return spec.jobs[a].expectedCost()
+                             > spec.jobs[b].expectedCost();
+                     });
+
+    runOrdered(missIdx, opts_.jobs, [&](std::size_t i) {
+        const SimJob &job = spec.jobs[i];
+        JobResult &r = out.results[i];
+        auto jobStart = Clock::now();
+
+        Application app = buildApp(job.app, job.salt);
+        GpuSim sim(job.cfg);
+        r.stats = job.concurrent ? sim.runConcurrent(app)
+                                 : sim.run(app);
+        r.wallMs = msSince(jobStart);
+
+        cache_.store(r.key, r.stats);
+        report(i, r);
+    });
+    out.executed = missIdx.size();
+
+    out.wallMs = msSince(sweepStart);
+    return out;
+}
+
+} // namespace scsim::runner

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The sweep engine: executes a SweepSpec on a worker pool.
+ *
+ * Execution model: every job's cache key is computed up front; cache
+ * hits are resolved immediately and the remaining jobs are issued to
+ * the pool longest-expected-first, which keeps the tail of a sweep
+ * from being serialized behind one giant simulation.  Each worker
+ * owns its entire GpuSim, so jobs share nothing but the result slots
+ * (disjoint per job) and the cache/progress locks.  Results are
+ * reported in spec order regardless of completion order, making the
+ * merged output — and any manifest derived from it — byte-identical
+ * for every worker count.
+ */
+
+#ifndef SCSIM_RUNNER_SWEEP_ENGINE_HH
+#define SCSIM_RUNNER_SWEEP_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/result_cache.hh"
+#include "runner/sweep_spec.hh"
+#include "stats/stats.hh"
+
+namespace scsim::runner {
+
+/** Outcome of one job, in spec order. */
+struct JobResult
+{
+    std::uint64_t key = 0;   //!< content hash (see jobKey)
+    SimStats stats;
+    bool cached = false;     //!< served from the result cache
+    double wallMs = 0.0;     //!< simulation time; 0 when cached
+};
+
+/** Merged outcome of a sweep; results are parallel to spec.jobs. */
+struct SweepResult
+{
+    std::vector<std::string> tags;
+    std::vector<JobResult> results;
+
+    double wallMs = 0.0;         //!< whole-sweep wall clock
+    std::uint64_t cacheHits = 0;
+    std::uint64_t executed = 0;
+
+    /** Stats for @p tag; fatal if the sweep had no such job. */
+    const SimStats &stats(const std::string &tag) const;
+
+    /** Cycles for @p tag (the common figure-harness access). */
+    Cycle cycles(const std::string &tag) const;
+};
+
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {});
+
+    /** Execute @p spec; fatal on duplicate tags or invalid configs. */
+    SweepResult run(const SweepSpec &spec);
+
+    ResultCache &cache() { return cache_; }
+
+  private:
+    SweepOptions opts_;
+    ResultCache cache_;
+};
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_SWEEP_ENGINE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sweep descriptions: what to simulate, not how.
+ *
+ * A SimJob is one independent simulation point — a configuration, a
+ * synthetic workload spec, and a salt — identified by a caller-chosen
+ * tag that keys its row in the merged results.  A SweepSpec is an
+ * ordered set of jobs; SweepOptions say how to execute them (thread
+ * count, cache directory, progress reporting).  All types are plain
+ * data so figure harnesses can build sweeps declaratively.
+ */
+
+#ifndef SCSIM_RUNNER_SWEEP_SPEC_HH
+#define SCSIM_RUNNER_SWEEP_SPEC_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "workloads/suite.hh"
+
+namespace scsim::runner {
+
+/** One simulation point of a sweep. */
+struct SimJob
+{
+    /** Unique key for this job's row in the merged results. */
+    std::string tag;
+
+    GpuConfig cfg;
+    AppSpec app;
+
+    /** Extra workload-synthesis seed salt (forwarded to buildApp). */
+    std::uint64_t salt = 0;
+
+    /** Run the app's kernels concurrently instead of back-to-back. */
+    bool concurrent = false;
+
+    /**
+     * Relative wall-clock estimate used for longest-expected-job-first
+     * ordering: dynamic warp instructions across the grid, scaled by
+     * the divergence pattern's mean slot length.
+     */
+    double expectedCost() const;
+};
+
+/** An ordered set of jobs; tags must be unique across the sweep. */
+struct SweepSpec
+{
+    std::vector<SimJob> jobs;
+
+    /** Append a job; returns it for field tweaks. */
+    SimJob &
+    add(std::string tag, GpuConfig cfg, AppSpec app)
+    {
+        jobs.push_back(SimJob{ std::move(tag), std::move(cfg),
+                               std::move(app), 0, false });
+        return jobs.back();
+    }
+};
+
+/** Execution knobs for a sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    int jobs = 0;
+
+    /** On-disk result cache directory; empty = in-memory only. */
+    std::string cacheDir;
+
+    /** Stream one line per completed job to @ref progressStream. */
+    bool progress = false;
+
+    /** Where progress lines go (never the manifest); default stderr. */
+    std::FILE *progressStream = nullptr;
+};
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_SWEEP_SPEC_HH

@@ -1,0 +1,52 @@
+#include "runner/worker_pool.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace scsim::runner {
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs < 0)
+        scsim_fatal("worker count must be >= 0 (got %d)", jobs);
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+runOrdered(const std::vector<std::size_t> &order, int threads,
+           const std::function<void(std::size_t)> &fn)
+{
+    threads = resolveJobs(threads);
+    if (threads == 1 || order.size() <= 1) {
+        for (std::size_t idx : order)
+            fn(idx);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{ 0 };
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1,
+                                             std::memory_order_relaxed);
+            if (i >= order.size())
+                return;
+            fn(order[i]);
+        }
+    };
+
+    std::vector<std::jthread> pool;
+    std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(threads), order.size());
+    pool.reserve(n);
+    for (std::size_t t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    // jthread joins on destruction.
+}
+
+} // namespace scsim::runner

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for independent simulation jobs.
+ *
+ * The pool executes a pre-ordered list of job indices on N
+ * std::jthread workers.  There is deliberately no work queue object
+ * to synchronize on beyond a single atomic cursor: jobs are
+ * independent by construction (each worker owns its entire GpuSim),
+ * so the only shared state is the cursor and whatever the callback
+ * itself locks.  Exceptions are not expected (the simulator reports
+ * errors via scsim_fatal); std::terminate on escape is acceptable.
+ */
+
+#ifndef SCSIM_RUNNER_WORKER_POOL_HH
+#define SCSIM_RUNNER_WORKER_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace scsim::runner {
+
+/** Worker-thread count for `jobs` requested (0 = hardware threads). */
+int resolveJobs(int jobs);
+
+/**
+ * Run `fn(order[i])` for every i, distributing indices over
+ * @p threads workers in the given order.  Returns when all are done.
+ * With threads == 1 the calling thread runs everything itself, so a
+ * single-threaded sweep has no scheduling noise at all.
+ */
+void runOrdered(const std::vector<std::size_t> &order, int threads,
+                const std::function<void(std::size_t)> &fn);
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_WORKER_POOL_HH

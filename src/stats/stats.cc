@@ -104,6 +104,30 @@ TimeSeries::finalize(Cycle now)
     }
 }
 
+void
+TimeSeries::merge(const TimeSeries &other)
+{
+    if (other.samples_.empty())
+        return;
+    if (samples_.empty())
+        window_ = other.window_;   // adopt the recording window
+    scsim_assert(window_ == other.window_,
+                 "cannot merge TimeSeries with windows %llu and %llu",
+                 static_cast<unsigned long long>(window_),
+                 static_cast<unsigned long long>(other.window_));
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    curWindowStart_ = window_ * samples_.size();
+}
+
+void
+TimeSeries::restoreSamples(std::vector<double> samples)
+{
+    samples_ = std::move(samples);
+    curSum_ = 0.0;
+    curWindowStart_ = window_ * samples_.size();
+}
+
 double
 TimeSeries::average() const
 {
@@ -154,6 +178,55 @@ SimStats::ipc() const
     return cycles ? static_cast<double>(instructions)
                         / static_cast<double>(cycles)
                   : 0.0;
+}
+
+void
+SimStats::merge(const SimStats &other)
+{
+    cycles += other.cycles;
+    instructions += other.instructions;
+    threadInstructions += other.threadInstructions;
+
+    if (issuePerScheduler.size() < other.issuePerScheduler.size())
+        issuePerScheduler.resize(other.issuePerScheduler.size());
+    for (std::size_t sm = 0; sm < other.issuePerScheduler.size(); ++sm) {
+        const auto &theirs = other.issuePerScheduler[sm];
+        auto &ours = issuePerScheduler[sm];
+        if (ours.size() < theirs.size())
+            ours.resize(theirs.size(), 0);
+        for (std::size_t s = 0; s < theirs.size(); ++s)
+            ours[s] += theirs[s];
+    }
+
+    schedCycles += other.schedCycles;
+    issueSlotsUsed += other.issueSlotsUsed;
+    stallNoWarp += other.stallNoWarp;
+    stallScoreboard += other.stallScoreboard;
+    stallNoCu += other.stallNoCu;
+    cuTurnaroundSum += other.cuTurnaroundSum;
+    cuDispatches += other.cuDispatches;
+
+    rfReads += other.rfReads;
+    rfWrites += other.rfWrites;
+    rfBankConflictCycles += other.rfBankConflictCycles;
+    collectorFullStalls += other.collectorFullStalls;
+    execStructuralStalls += other.execStructuralStalls;
+
+    l1Accesses += other.l1Accesses;
+    l1Misses += other.l1Misses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+
+    blocksCompleted += other.blocksCompleted;
+    warpsCompleted += other.warpsCompleted;
+    assignSpills += other.assignSpills;
+
+    rfReadTrace.merge(other.rfReadTrace);
+
+    kernelSpans.insert(kernelSpans.end(), other.kernelSpans.begin(),
+                       other.kernelSpans.end());
+
+    warpMigrations += other.warpMigrations;
 }
 
 double

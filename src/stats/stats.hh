@@ -65,6 +65,16 @@ class TimeSeries
     /** Flush the partially filled trailing window. */
     void finalize(Cycle now);
 
+    /**
+     * Append @p other's completed samples after this series' own,
+     * i.e. concatenate two finalized traces of consecutive run
+     * segments recorded with the same window.
+     */
+    void merge(const TimeSeries &other);
+
+    /** Replace the sample vector (result-cache deserialization). */
+    void restoreSamples(std::vector<double> samples);
+
     Cycle window() const { return window_; }
     const std::vector<double> &samples() const { return samples_; }
 
@@ -141,6 +151,17 @@ struct SimStats
      * averaged over SMs that issued anything (Fig 17 metric).
      */
     double issueCov() const;
+
+    /**
+     * Fold @p other into this record with run-concatenation
+     * semantics: counters sum, cycles accumulate as if @p other's
+     * kernels ran back-to-back after ours, the per-scheduler issue
+     * matrix adds element-wise (growing to cover the larger shape),
+     * kernel spans append, and the RF read trace concatenates.
+     * Merging shards of a partitioned run therefore reproduces the
+     * single-pass accumulation GpuSim performs itself.
+     */
+    void merge(const SimStats &other);
 };
 
 } // namespace scsim

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Sweep-engine tests: job-key content addressing, result-cache
+ * round-trips and hit/miss/invalidation behavior, thread-count
+ * invariance of the merged results and manifests, and the
+ * longest-expected-first ordering helpers.
+ *
+ * Labeled `runner` in CTest so `ctest -L runner` (and the `tsan`
+ * preset) can exercise exactly the threaded paths.
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/design.hh"
+#include "runner/job_key.hh"
+#include "runner/report.hh"
+#include "runner/result_cache.hh"
+#include "runner/sweep_engine.hh"
+#include "runner/worker_pool.hh"
+
+namespace scsim::runner {
+namespace {
+
+/** A seconds-scale-free workload: small grid, short warps. */
+AppSpec
+tinyApp(const std::string &name, int blocks = 4)
+{
+    AppSpec app;
+    app.name = name;
+    app.suite = "test";
+    app.numBlocks = blocks;
+    app.warpsPerBlock = 4;
+    app.baseInsts = 60;
+    app.footprintMB = 1;
+    return app;
+}
+
+GpuConfig
+tinyCfg()
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    return cfg;
+}
+
+/** Baseline + RBA + Shuffle over three tiny apps. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    GpuConfig base = tinyCfg();
+    for (const char *name : { "appA", "appB", "appC" }) {
+        AppSpec app = tinyApp(name);
+        for (Design d :
+             { Design::Baseline, Design::RBA, Design::Shuffle }) {
+            spec.add(app.name + std::string("|") + toString(d),
+                     applyDesign(base, d), app);
+        }
+    }
+    return spec;
+}
+
+/** Fresh empty directory under the gtest temp root. */
+std::string
+freshDir(const std::string &leaf)
+{
+    std::string dir = testing::TempDir() + "scsim_" + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(JobKey, SameJobSameKey)
+{
+    SimJob a{ "t", tinyCfg(), tinyApp("x"), 0, false };
+    SimJob b{ "different-tag", tinyCfg(), tinyApp("x"), 0, false };
+    // The tag names the result row; it is not part of the content.
+    EXPECT_EQ(jobKey(a), jobKey(b));
+}
+
+TEST(JobKey, SensitiveToEveryInput)
+{
+    SimJob base{ "t", tinyCfg(), tinyApp("x"), 0, false };
+    std::uint64_t k = jobKey(base);
+
+    SimJob salted = base;
+    salted.salt = 1;
+    EXPECT_NE(jobKey(salted), k);
+
+    SimJob conc = base;
+    conc.concurrent = true;
+    EXPECT_NE(jobKey(conc), k);
+
+    SimJob sched = base;
+    sched.cfg.scheduler = SchedulerPolicy::RBA;
+    EXPECT_NE(jobKey(sched), k);
+
+    SimJob knob = base;
+    knob.cfg.rbaScoreLatency = 8;
+    EXPECT_NE(jobKey(knob), k);
+
+    SimJob work = base;
+    work.app.baseInsts += 1;
+    EXPECT_NE(jobKey(work), k);
+
+    SimJob pattern = base;
+    pattern.app.divPattern = { 1.0, 4.0 };
+    EXPECT_NE(jobKey(pattern), k);
+}
+
+TEST(JobKey, HexIsFixedWidth)
+{
+    EXPECT_EQ(keyToHex(0x1), "0000000000000001");
+    EXPECT_EQ(keyToHex(0xdeadbeefcafef00dULL), "deadbeefcafef00d");
+}
+
+TEST(ResultCache, SerializeRoundTrip)
+{
+    SimStats s;
+    s.cycles = 12345;
+    s.instructions = 678;
+    s.issuePerScheduler = { { 1, 2, 3 }, { 4, 5, 6 } };
+    s.rfReads = 999;
+    s.l2Misses = 42;
+    s.kernelSpans.emplace_back("gemm pass 1", 100);
+    s.kernelSpans.emplace_back("reduce", 200);
+    s.rfReadTrace = TimeSeries{ 8 };
+    s.rfReadTrace.add(0, 16.0);
+    s.rfReadTrace.add(9, 24.0);
+    s.rfReadTrace.finalize(16);
+
+    SimStats back;
+    ASSERT_TRUE(deserializeStats(serializeStats(s), back));
+    EXPECT_EQ(back.cycles, s.cycles);
+    EXPECT_EQ(back.instructions, s.instructions);
+    EXPECT_EQ(back.issuePerScheduler, s.issuePerScheduler);
+    EXPECT_EQ(back.rfReads, s.rfReads);
+    EXPECT_EQ(back.l2Misses, s.l2Misses);
+    ASSERT_EQ(back.kernelSpans.size(), 2u);
+    EXPECT_EQ(back.kernelSpans[0].first, "gemm pass 1");
+    EXPECT_EQ(back.kernelSpans[1].second, 200u);
+    EXPECT_EQ(back.rfReadTrace.window(), 8u);
+    EXPECT_EQ(back.rfReadTrace.samples(), s.rfReadTrace.samples());
+
+    // The round-trip must also be byte-stable (cache re-writes).
+    EXPECT_EQ(serializeStats(back), serializeStats(s));
+}
+
+TEST(ResultCache, RejectsGarbageAndVersionSkew)
+{
+    SimStats out;
+    EXPECT_FALSE(deserializeStats("", out));
+    EXPECT_FALSE(deserializeStats("not a result file\n", out));
+    EXPECT_FALSE(deserializeStats("scsim-result v999\ncycles 1\n", out));
+}
+
+TEST(ResultCache, DiskPersistsAcrossInstances)
+{
+    std::string dir = freshDir("cache_persist");
+    SimStats s;
+    s.cycles = 777;
+    {
+        ResultCache cache(dir);
+        cache.store(0xabcdef, s);
+    }
+    ResultCache fresh(dir);
+    SimStats out;
+    EXPECT_TRUE(fresh.lookup(0xabcdef, out));
+    EXPECT_EQ(out.cycles, 777u);
+    EXPECT_EQ(fresh.hits(), 1u);
+    EXPECT_FALSE(fresh.lookup(0x123456, out));
+    EXPECT_EQ(fresh.misses(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(WorkerPool, ResolveJobs)
+{
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_EQ(resolveJobs(3), 3);
+}
+
+TEST(WorkerPool, RunsEveryIndexOnce)
+{
+    std::vector<std::size_t> order { 4, 2, 0, 1, 3 };
+    std::vector<std::atomic<int>> hits(5);
+    runOrdered(order, 4, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepEngine, ThreadCountInvariance)
+{
+    SweepSpec spec = tinySpec();
+
+    SweepEngine serial{ SweepOptions{ 1, "", false, nullptr } };
+    SweepResult r1 = serial.run(spec);
+
+    SweepEngine parallel{ SweepOptions{ 8, "", false, nullptr } };
+    SweepResult r8 = parallel.run(spec);
+
+    ASSERT_EQ(r1.results.size(), r8.results.size());
+    for (std::size_t i = 0; i < r1.results.size(); ++i) {
+        EXPECT_EQ(r1.results[i].key, r8.results[i].key);
+        EXPECT_EQ(r1.results[i].stats.cycles,
+                  r8.results[i].stats.cycles)
+            << "job " << r1.tags[i];
+        EXPECT_EQ(r1.results[i].stats.rfBankConflictCycles,
+                  r8.results[i].stats.rfBankConflictCycles);
+    }
+    // The structured manifests must be byte-identical.
+    EXPECT_EQ(jsonManifest(spec, r1), jsonManifest(spec, r8));
+    EXPECT_EQ(csvManifest(spec, r1), csvManifest(spec, r8));
+}
+
+TEST(SweepEngine, CacheHitsOnRerun)
+{
+    std::string dir = freshDir("cache_rerun");
+    SweepSpec spec = tinySpec();
+
+    SweepEngine first{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepResult cold = first.run(spec);
+    EXPECT_EQ(cold.executed, spec.jobs.size());
+    EXPECT_EQ(cold.cacheHits, 0u);
+
+    SweepEngine second{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepResult warm = second.run(spec);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cacheHits, spec.jobs.size());
+
+    // Cached results are indistinguishable from simulated ones.
+    EXPECT_EQ(jsonManifest(spec, cold), jsonManifest(spec, warm));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, ConfigChangeInvalidatesCache)
+{
+    std::string dir = freshDir("cache_invalidate");
+    SweepSpec spec = tinySpec();
+
+    SweepEngine first{ SweepOptions{ 4, dir, false, nullptr } };
+    first.run(spec);
+
+    // An SM-count change must miss on every point...
+    SweepSpec bigger = spec;
+    for (SimJob &job : bigger.jobs)
+        job.cfg.numSms = 4;
+    SweepEngine second{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepResult r = second.run(bigger);
+    EXPECT_EQ(r.cacheHits, 0u);
+    EXPECT_EQ(r.executed, bigger.jobs.size());
+
+    // ...while the unchanged spec still hits everything.
+    SweepEngine third{ SweepOptions{ 4, dir, false, nullptr } };
+    EXPECT_EQ(third.run(spec).cacheHits, spec.jobs.size());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, SaltInvalidatesCache)
+{
+    std::string dir = freshDir("cache_salt");
+    SweepSpec spec = tinySpec();
+    SweepEngine first{ SweepOptions{ 2, dir, false, nullptr } };
+    first.run(spec);
+
+    SweepSpec salted = spec;
+    for (SimJob &job : salted.jobs)
+        job.salt = 99;
+    SweepEngine second{ SweepOptions{ 2, dir, false, nullptr } };
+    EXPECT_EQ(second.run(salted).cacheHits, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, ByTagLookup)
+{
+    SweepSpec spec;
+    spec.add("only", tinyCfg(), tinyApp("solo"));
+    SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
+    SweepResult r = engine.run(spec);
+    EXPECT_GT(r.cycles("only"), 0u);
+    EXPECT_EQ(&r.stats("only"), &r.results[0].stats);
+}
+
+TEST(SweepEngine, DuplicateTagIsFatal)
+{
+    SweepSpec spec;
+    spec.add("dup", tinyCfg(), tinyApp("a"));
+    spec.add("dup", tinyCfg(), tinyApp("b"));
+    SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
+    EXPECT_EXIT(engine.run(spec), testing::ExitedWithCode(1),
+                "duplicate sweep tag");
+}
+
+TEST(ExpectedCost, OrdersByWork)
+{
+    SimJob small{ "s", tinyCfg(), tinyApp("s", 2), 0, false };
+    SimJob large{ "l", tinyCfg(), tinyApp("l", 64), 0, false };
+    EXPECT_GT(large.expectedCost(), small.expectedCost());
+
+    // A fully-connected SM costs more to simulate than a partitioned
+    // one for identical work.
+    SimJob fc = small;
+    fc.cfg = applyDesign(tinyCfg(), Design::FullyConnected);
+    EXPECT_GT(fc.expectedCost(), small.expectedCost());
+}
+
+} // namespace
+} // namespace scsim::runner

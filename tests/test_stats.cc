@@ -56,6 +56,33 @@ TEST(Distribution, MergeMatchesCombined)
     EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(Distribution, ShardedMergeEqualsSinglePass)
+{
+    // Four shards of uneven sizes, merged pairwise then chained, must
+    // reproduce the one-pass accumulator exactly (count/sum/min/max)
+    // and to rounding (mean/variance).
+    Distribution shards[4], all;
+    int n = 0;
+    for (int s = 0; s < 4; ++s) {
+        for (int i = 0; i <= s * 3; ++i) {
+            double x = 0.75 * n * n - 11.0 * n + 3.5;
+            shards[s].add(x);
+            all.add(x);
+            ++n;
+        }
+    }
+    Distribution merged;
+    for (const Distribution &s : shards)
+        merged.merge(s);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_DOUBLE_EQ(merged.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(merged.min(), all.min());
+    EXPECT_DOUBLE_EQ(merged.max(), all.max());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), all.variance(),
+                1e-9 * all.variance());
+}
+
 TEST(Distribution, MergeWithEmpty)
 {
     Distribution a, empty;
@@ -149,6 +176,123 @@ TEST(SimStats, IssueCovBalanced)
     SimStats s;
     s.issuePerScheduler = { { 10, 10, 10, 10 } };
     EXPECT_DOUBLE_EQ(s.issueCov(), 0.0);
+}
+
+TEST(TimeSeries, MergeConcatenatesSamples)
+{
+    TimeSeries a(4), b(4);
+    a.add(0, 4.0);
+    a.finalize(4);
+    b.add(0, 8.0);
+    b.add(5, 12.0);
+    b.finalize(8);
+    a.merge(b);
+    ASSERT_EQ(a.samples().size(), 3u);
+    EXPECT_DOUBLE_EQ(a.samples()[0], 1.0);
+    EXPECT_DOUBLE_EQ(a.samples()[1], 2.0);
+    EXPECT_DOUBLE_EQ(a.samples()[2], 3.0);
+}
+
+TEST(TimeSeries, MergeIntoEmptyAdoptsWindow)
+{
+    TimeSeries empty(512), b(4);
+    b.add(0, 8.0);
+    b.finalize(4);
+    empty.merge(b);
+    EXPECT_EQ(empty.window(), 4u);
+    ASSERT_EQ(empty.samples().size(), 1u);
+    EXPECT_DOUBLE_EQ(empty.samples()[0], 2.0);
+}
+
+/** A SimStats shard with every counter derived from @p base. */
+SimStats
+statsShard(std::uint64_t base)
+{
+    SimStats s;
+    s.cycles = base;
+    s.instructions = base * 2;
+    s.threadInstructions = base * 64;
+    s.issuePerScheduler = { { base, base + 1 }, { base + 2, base + 3 } };
+    s.schedCycles = base * 4;
+    s.issueSlotsUsed = base * 2;
+    s.stallNoWarp = base + 5;
+    s.stallScoreboard = base + 6;
+    s.stallNoCu = base + 7;
+    s.cuTurnaroundSum = base + 8;
+    s.cuDispatches = base + 9;
+    s.rfReads = base * 6;
+    s.rfWrites = base * 3;
+    s.rfBankConflictCycles = base + 10;
+    s.collectorFullStalls = base + 11;
+    s.execStructuralStalls = base + 12;
+    s.l1Accesses = base + 13;
+    s.l1Misses = base + 14;
+    s.l2Accesses = base + 15;
+    s.l2Misses = base + 16;
+    s.blocksCompleted = base + 17;
+    s.warpsCompleted = base + 18;
+    s.assignSpills = base + 19;
+    s.warpMigrations = base + 20;
+    s.kernelSpans.emplace_back("k" + std::to_string(base), base);
+    s.rfReadTrace = TimeSeries{ 4 };
+    s.rfReadTrace.add(0, static_cast<double>(base));
+    s.rfReadTrace.finalize(4);
+    return s;
+}
+
+TEST(SimStats, MergeEqualsSequentialAccumulation)
+{
+    SimStats merged = statsShard(100);
+    merged.merge(statsShard(1000));
+
+    EXPECT_EQ(merged.cycles, 1100u);
+    EXPECT_EQ(merged.instructions, 2200u);
+    EXPECT_EQ(merged.threadInstructions, 70400u);
+    ASSERT_EQ(merged.issuePerScheduler.size(), 2u);
+    EXPECT_EQ(merged.issuePerScheduler[0],
+              (std::vector<std::uint64_t>{ 1100, 1102 }));
+    EXPECT_EQ(merged.issuePerScheduler[1],
+              (std::vector<std::uint64_t>{ 1104, 1106 }));
+    EXPECT_EQ(merged.schedCycles, 4400u);
+    EXPECT_EQ(merged.stallNoWarp, 1110u);
+    EXPECT_EQ(merged.rfReads, 6600u);
+    EXPECT_EQ(merged.l2Misses, 1132u);
+    EXPECT_EQ(merged.warpMigrations, 1140u);
+
+    ASSERT_EQ(merged.kernelSpans.size(), 2u);
+    EXPECT_EQ(merged.kernelSpans[0].first, "k100");
+    EXPECT_EQ(merged.kernelSpans[1].second, 1000u);
+
+    ASSERT_EQ(merged.rfReadTrace.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(merged.rfReadTrace.samples()[0], 25.0);
+    EXPECT_DOUBLE_EQ(merged.rfReadTrace.samples()[1], 250.0);
+}
+
+TEST(SimStats, MergeGrowsIssueMatrix)
+{
+    SimStats small;
+    small.issuePerScheduler = { { 1 } };
+    SimStats big;
+    big.issuePerScheduler = { { 2, 3 }, { 4, 5 } };
+    small.merge(big);
+    ASSERT_EQ(small.issuePerScheduler.size(), 2u);
+    EXPECT_EQ(small.issuePerScheduler[0],
+              (std::vector<std::uint64_t>{ 3, 3 }));
+    EXPECT_EQ(small.issuePerScheduler[1],
+              (std::vector<std::uint64_t>{ 4, 5 }));
+}
+
+TEST(SimStats, MergeWithDefaultIsIdentity)
+{
+    SimStats merged = statsShard(7);
+    SimStats reference = statsShard(7);
+    merged.merge(SimStats{});
+    EXPECT_EQ(merged.cycles, reference.cycles);
+    EXPECT_EQ(merged.instructions, reference.instructions);
+    EXPECT_EQ(merged.issuePerScheduler, reference.issuePerScheduler);
+    EXPECT_EQ(merged.kernelSpans.size(), reference.kernelSpans.size());
+    EXPECT_EQ(merged.rfReadTrace.samples(),
+              reference.rfReadTrace.samples());
 }
 
 } // namespace

@@ -7,6 +7,11 @@
  *                  [--config file.cfg] [--concurrent] [--salt N]
  *   scsim_cli run  --trace app.sctrace [...]
  *   scsim_cli run  --micro fma-unbalanced | imbalance:8 | conflict:3
+ *   scsim_cli sweep [--suite tpch-c | --apps a,b | --subset sensitive]
+ *                  [--designs RBA,SRR,ShuffleRBA | --designs all]
+ *                  [--jobs N] [--cache-dir DIR] [--out results.json]
+ *                  [--csv results.csv] [--scale 0.5] [--sms 8]
+ *                  [--set key=value] [--salt N] [--concurrent] [--quiet]
  *   scsim_cli list [--suite parboil]
  *   scsim_cli dump --app cg-lou --out cg-lou.sctrace [--scale 0.5]
  *   scsim_cli info [--set key=value ...]
@@ -23,6 +28,9 @@
 
 #include "common/logging.hh"
 #include "gpu/gpu_sim.hh"
+#include "runner/design.hh"
+#include "runner/report.hh"
+#include "runner/sweep_engine.hh"
 #include "trace/trace_io.hh"
 #include "workloads/microbench.hh"
 #include "workloads/suite.hh"
@@ -49,8 +57,8 @@ parseArgs(int argc, char **argv)
         std::string flag = argv[i];
         if (flag.rfind("--", 0) != 0)
             scsim_fatal("unexpected argument '%s'", flag.c_str());
-        flag = flag.substr(2);
-        if (flag == "concurrent") {
+        flag.erase(0, 2);
+        if (flag == "concurrent" || flag == "quiet") {
             args.options[flag] = "1";
             continue;
         }
@@ -178,6 +186,139 @@ cmdRun(const Args &args)
     return 0;
 }
 
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * `sweep`: run (application x design) points on the parallel engine
+ * and emit a structured manifest.  The Baseline design is always
+ * included — speedups are reported against it.
+ */
+int
+cmdSweep(const Args &args)
+{
+    using namespace scsim::runner;
+
+    GpuConfig base = configFor(args);
+    double scale = scaleFor(args);
+
+    std::vector<AppSpec> apps;
+    if (auto it = args.options.find("apps"); it != args.options.end()) {
+        for (const std::string &name : splitList(it->second))
+            apps.push_back(findApp(name, scale));
+    } else if (auto su = args.options.find("suite");
+               su != args.options.end()) {
+        apps = suiteApps(su->second, scale);
+    } else if (auto ss = args.options.find("subset");
+               ss != args.options.end()) {
+        if (ss->second == "sensitive")
+            apps = sensitiveApps(scale);
+        else if (ss->second == "rf")
+            apps = rfSensitiveApps(scale);
+        else if (ss->second == "all")
+            apps = standardSuite(scale);
+        else
+            scsim_fatal("unknown subset '%s' (sensitive/rf/all)",
+                        ss->second.c_str());
+    } else {
+        apps = standardSuite(scale);
+    }
+    if (apps.empty())
+        scsim_fatal("sweep selected no applications");
+
+    std::vector<Design> designs { Design::Baseline };
+    if (auto it = args.options.find("designs");
+        it != args.options.end()) {
+        if (it->second == "all") {
+            designs = allDesigns();
+        } else {
+            for (const std::string &name : splitList(it->second)) {
+                Design d = parseDesign(name);
+                if (d != Design::Baseline)
+                    designs.push_back(d);
+            }
+        }
+    }
+
+    std::uint64_t salt = 0;
+    if (auto it = args.options.find("salt"); it != args.options.end())
+        salt = std::stoull(it->second);
+    bool concurrent = args.options.count("concurrent") > 0;
+
+    SweepSpec spec;
+    for (const AppSpec &app : apps) {
+        for (Design d : designs) {
+            SimJob &job = spec.add(app.name + "|" + toString(d),
+                                   applyDesign(base, d), app);
+            job.salt = salt;
+            job.concurrent = concurrent;
+        }
+    }
+
+    SweepOptions opts;
+    if (auto it = args.options.find("jobs"); it != args.options.end())
+        opts.jobs = std::stoi(it->second);
+    if (auto it = args.options.find("cache-dir");
+        it != args.options.end())
+        opts.cacheDir = it->second;
+    opts.progress = args.options.count("quiet") == 0;
+
+    SweepEngine engine(opts);
+    SweepResult res = engine.run(spec);
+
+    if (auto it = args.options.find("out"); it != args.options.end())
+        writeFile(it->second, jsonManifest(spec, res));
+    if (auto it = args.options.find("csv"); it != args.options.end())
+        writeFile(it->second, csvManifest(spec, res));
+
+    // Per-app speedup table over Baseline (Baseline column = cycles).
+    std::printf("%-16s %12s", "app", "base-cycles");
+    for (Design d : designs)
+        if (d != Design::Baseline)
+            std::printf(" %12s", toString(d));
+    std::printf("\n");
+    std::vector<std::vector<double>> perDesign(designs.size());
+    for (const AppSpec &app : apps) {
+        Cycle b = res.cycles(app.name + "|"
+                             + toString(Design::Baseline));
+        std::printf("%-16s %12llu", app.name.c_str(),
+                    static_cast<unsigned long long>(b));
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            if (designs[i] == Design::Baseline)
+                continue;
+            Cycle c = res.cycles(app.name + "|"
+                                 + toString(designs[i]));
+            double s = static_cast<double>(b)
+                / static_cast<double>(c);
+            perDesign[i].push_back(s);
+            std::printf(" %12.3f", s);
+        }
+        std::printf("\n");
+    }
+    if (designs.size() > 1) {
+        std::printf("%-16s %12s", "MEAN", "");
+        for (std::size_t i = 0; i < designs.size(); ++i)
+            if (designs[i] != Design::Baseline)
+                std::printf(" %12.3f", mean(perDesign[i]));
+        std::printf("\n");
+    }
+    std::fprintf(stderr, "%s\n", summaryLine(res, opts.jobs).c_str());
+    return 0;
+}
+
 int
 cmdList(const Args &args)
 {
@@ -240,12 +381,14 @@ main(int argc, char **argv)
     Args args = parseArgs(argc, argv);
     if (args.command == "run")
         return cmdRun(args);
+    if (args.command == "sweep")
+        return cmdSweep(args);
     if (args.command == "list")
         return cmdList(args);
     if (args.command == "dump")
         return cmdDump(args);
     if (args.command == "info")
         return cmdInfo(args);
-    scsim_fatal("unknown command '%s' (try run/list/dump/info)",
+    scsim_fatal("unknown command '%s' (try run/sweep/list/dump/info)",
                 args.command.c_str());
 }
