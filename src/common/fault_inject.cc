@@ -1,0 +1,97 @@
+#include "common/fault_inject.hh"
+
+#include <cstring>
+
+namespace scsim {
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard lock(mutex_);
+    writeAttempts_ = writeFailFirst_ = writeFailLast_ = 0;
+    readAttempts_ = readFailFirst_ = readFailLast_ = 0;
+    hangToken_.clear();
+    cacheFaultsArmed_.store(false, std::memory_order_relaxed);
+    hangArmed_.store(false, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::armCacheWriteFaults(std::uint64_t nth, std::uint64_t count)
+{
+    std::lock_guard lock(mutex_);
+    writeFailFirst_ = nth;
+    writeFailLast_ = count ? nth + count - 1 : 0;
+    cacheFaultsArmed_.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::armCacheReadFaults(std::uint64_t nth, std::uint64_t count)
+{
+    std::lock_guard lock(mutex_);
+    readFailFirst_ = nth;
+    readFailLast_ = count ? nth + count - 1 : 0;
+    cacheFaultsArmed_.store(true, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFailCacheWrite()
+{
+    if (!cacheFaultsArmed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard lock(mutex_);
+    ++writeAttempts_;
+    return writeFailFirst_ && writeAttempts_ >= writeFailFirst_
+        && writeAttempts_ <= writeFailLast_;
+}
+
+bool
+FaultInjector::shouldFailCacheRead()
+{
+    if (!cacheFaultsArmed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard lock(mutex_);
+    ++readAttempts_;
+    return readFailFirst_ && readAttempts_ >= readFailFirst_
+        && readAttempts_ <= readFailLast_;
+}
+
+std::uint64_t
+FaultInjector::cacheWriteAttempts() const
+{
+    std::lock_guard lock(mutex_);
+    return writeAttempts_;
+}
+
+std::uint64_t
+FaultInjector::cacheReadAttempts() const
+{
+    std::lock_guard lock(mutex_);
+    return readAttempts_;
+}
+
+void
+FaultInjector::armHang(std::string token)
+{
+    std::lock_guard lock(mutex_);
+    hangToken_ = std::move(token);
+    hangArmed_.store(!hangToken_.empty(), std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::hangArmedFor(const char *label) const
+{
+    if (!hangArmed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard lock(mutex_);
+    return label && !hangToken_.empty()
+        && std::strstr(label, hangToken_.c_str()) != nullptr;
+}
+
+} // namespace scsim

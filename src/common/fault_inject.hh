@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness tests.
+ *
+ * A process-wide, thread-safe hook that lets tests exercise every
+ * failure-containment path on demand:
+ *
+ *  - fail the Nth result-cache disk write / read (ResultCache throws
+ *    CacheError, which the sweep engine retries with bounded backoff
+ *    and then degrades from);
+ *  - force a synthetic hang in any workload whose run-loop label
+ *    contains an armed token (GpuSim's loop then never terminates on
+ *    its own, so the forward-progress watchdog must fire).
+ *
+ * Everything is disarmed by default and the disarmed checks are one
+ * relaxed atomic load, so production sweeps pay nothing.  Tests arm
+ * faults through instance() and must reset() when done (the
+ * robustness suite does this in a fixture).
+ */
+
+#ifndef SCSIM_COMMON_FAULT_INJECT_HH
+#define SCSIM_COMMON_FAULT_INJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace scsim {
+
+class FaultInjector
+{
+  public:
+    /** The process-wide injector (tests arm it, library code polls). */
+    static FaultInjector &instance();
+
+    /** Disarm everything and zero the attempt counters. */
+    void reset();
+
+    // ---- result-cache I/O faults --------------------------------------
+    /**
+     * Make cache disk-write attempts [nth, nth+count) fail (1-based,
+     * counted across the whole process since the last reset).
+     * count = a huge number simulates a persistently broken disk.
+     */
+    void armCacheWriteFaults(std::uint64_t nth, std::uint64_t count = 1);
+
+    /** Same, for cache disk-read attempts. */
+    void armCacheReadFaults(std::uint64_t nth, std::uint64_t count = 1);
+
+    /** Called by ResultCache before each disk write; true = fail it. */
+    bool shouldFailCacheWrite();
+
+    /** Called by ResultCache before each disk read; true = fail it. */
+    bool shouldFailCacheRead();
+
+    std::uint64_t cacheWriteAttempts() const;
+    std::uint64_t cacheReadAttempts() const;
+
+    // ---- synthetic hang -----------------------------------------------
+    /**
+     * Force any simulation whose run-loop label (kernel or application
+     * name) contains @p token to spin without retiring work, so the
+     * watchdog must contain it.  Only one token may be armed at a time.
+     */
+    void armHang(std::string token);
+
+    /** True when a hang is armed and @p label contains the token. */
+    bool hangArmedFor(const char *label) const;
+
+  private:
+    FaultInjector() = default;
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> cacheFaultsArmed_{ false };
+    std::atomic<bool> hangArmed_{ false };
+
+    std::uint64_t writeAttempts_ = 0;
+    std::uint64_t writeFailFirst_ = 0;   //!< 1-based; 0 = disarmed
+    std::uint64_t writeFailLast_ = 0;    //!< inclusive
+    std::uint64_t readAttempts_ = 0;
+    std::uint64_t readFailFirst_ = 0;
+    std::uint64_t readFailLast_ = 0;
+    std::string hangToken_;
+};
+
+} // namespace scsim
+
+#endif // SCSIM_COMMON_FAULT_INJECT_HH

@@ -2,8 +2,16 @@
  * @file
  * gem5-style status and error reporting.
  *
- * fatal(): the simulation cannot continue because of a user error
- * (bad configuration, impossible workload).  Exits with code 1.
+ * fatal(): the process cannot continue because of a user error at the
+ * CLI surface (unusable command line, unwritable output).  Exits with
+ * code 1.  Library code reachable from inside a sweep must use
+ * scsim_throw instead so one bad job cannot kill a whole campaign —
+ * see common/sim_error.hh for the policy.
+ *
+ * throw(): a recoverable user-level error (bad configuration,
+ * impossible workload, hung simulation).  Throws the named SimError
+ * subclass with the source location appended, to be contained by the
+ * sweep engine or reported by the CLI's top-level handler.
  *
  * panic(): something happened that should never happen regardless of
  * user input, i.e. a simulator bug.  Aborts.
@@ -17,6 +25,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "common/sim_error.hh"
 
 namespace scsim {
 
@@ -48,6 +58,15 @@ std::string format(const char *fmt, ...)
 #define scsim_fatal(...) \
     ::scsim::detail::fatalImpl(__FILE__, __LINE__, \
                                ::scsim::detail::format(__VA_ARGS__))
+
+/**
+ * Throw @p ErrType (a SimError subclass from common/sim_error.hh)
+ * with a printf-formatted message and the source location appended.
+ */
+#define scsim_throw(ErrType, ...) \
+    throw ErrType(::scsim::detail::format(__VA_ARGS__) \
+                  + ::scsim::detail::format(" (%s:%d)", __FILE__, \
+                                            __LINE__))
 
 /** Terminate with an internal-bug error (abort). */
 #define scsim_panic(...) \

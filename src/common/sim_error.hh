@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Recoverable simulation errors.
+ *
+ * scsim_fatal terminates the process and is reserved for the CLI
+ * surface, where "print a message and exit 1" is the contract.  Code
+ * that can be called from inside a sweep — configuration parsing,
+ * workload synthesis, the simulator core — reports user-level errors
+ * by throwing one of these types instead (via scsim_throw), so a
+ * single bad job degrades to a failed JobResult rather than killing a
+ * multi-hour campaign.  scsim_panic remains abort-on-bug: simulator
+ * invariant violations are never converted to exceptions.
+ *
+ * The hierarchy is deliberately shallow:
+ *
+ *   SimError            any recoverable simulation error
+ *    +- ConfigError     inconsistent or unparsable configuration
+ *    +- WorkloadError   workload that cannot run (bad kernel, unknown
+ *                       app, block that can never fit)
+ *    +- HangError       forward-progress watchdog fired; carries a
+ *                       machine-state diagnostic dump
+ *    +- CacheError      result-cache I/O fault (possibly transient;
+ *                       the sweep engine retries with backoff)
+ */
+
+#ifndef SCSIM_COMMON_SIM_ERROR_HH
+#define SCSIM_COMMON_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace scsim {
+
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** The configuration is inconsistent or could not be parsed. */
+class ConfigError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** The workload is malformed or impossible on this configuration. */
+class WorkloadError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** Result-cache I/O fault; may be transient (callers retry). */
+class CacheError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * The forward-progress watchdog fired: the simulation exceeded its
+ * cycle budget or retired nothing for a whole no-progress window.
+ * diagnostic() holds a multi-line machine-state dump (per-sub-core
+ * issue state, scoreboard occupancy, collector-unit status) captured
+ * at the moment the watchdog tripped.
+ */
+class HangError : public SimError
+{
+  public:
+    HangError(const std::string &what, std::string diagnostic)
+        : SimError(what), diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
+};
+
+} // namespace scsim
+
+#endif // SCSIM_COMMON_SIM_ERROR_HH

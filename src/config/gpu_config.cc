@@ -38,38 +38,36 @@ void
 GpuConfig::validate() const
 {
     if (numSms < 1)
-        scsim_fatal("numSms must be >= 1 (got %d)", numSms);
+        scsim_throw(ConfigError, "numSms must be >= 1 (got %d)", numSms);
     if (subCores < 1)
-        scsim_fatal("subCores must be >= 1 (got %d)", subCores);
+        scsim_throw(ConfigError, "subCores must be >= 1 (got %d)", subCores);
     if (schedulersPerSm % subCores != 0)
-        scsim_fatal("schedulersPerSm (%d) not divisible by subCores (%d)",
+        scsim_throw(ConfigError, "schedulersPerSm (%d) not divisible by subCores (%d)",
                     schedulersPerSm, subCores);
     if (rfBanksPerSm % subCores != 0)
-        scsim_fatal("rfBanksPerSm (%d) not divisible by subCores (%d)",
+        scsim_throw(ConfigError, "rfBanksPerSm (%d) not divisible by subCores (%d)",
                     rfBanksPerSm, subCores);
     if (collectorUnitsPerSm % subCores != 0)
-        scsim_fatal("collectorUnitsPerSm (%d) not divisible by "
+        scsim_throw(ConfigError, "collectorUnitsPerSm (%d) not divisible by "
                     "subCores (%d)", collectorUnitsPerSm, subCores);
     if (banksPerCluster() < 1)
-        scsim_fatal("need at least one register bank per sub-core");
+        scsim_throw(ConfigError, "need at least one register bank per sub-core");
     if (cusPerCluster() < 1)
-        scsim_fatal("need at least one collector unit per sub-core");
+        scsim_throw(ConfigError, "need at least one collector unit per sub-core");
     if (sharedWarpPool && subCores != 1)
-        scsim_fatal("sharedWarpPool requires a monolithic SM");
+        scsim_throw(ConfigError, "sharedWarpPool requires a monolithic SM");
     if (maxWarpsPerScheduler * schedulersPerSm < maxWarpsPerSm)
-        scsim_fatal("scheduler tables (%d x %d) cannot hold "
+        scsim_throw(ConfigError, "scheduler tables (%d x %d) cannot hold "
                     "maxWarpsPerSm (%d)", schedulersPerSm,
                     maxWarpsPerScheduler, maxWarpsPerSm);
     if (hashTableEntries != 4 && hashTableEntries != 16)
-        scsim_fatal("hashTableEntries must be 4 or 16 (got %d)",
+        scsim_throw(ConfigError, "hashTableEntries must be 4 or 16 (got %d)",
                     hashTableEntries);
     if (rbaScoreLatency < 0 || rbaScoreLatency > 64)
-        scsim_fatal("rbaScoreLatency out of range [0,64]: %d",
+        scsim_throw(ConfigError, "rbaScoreLatency out of range [0,64]: %d",
                     rbaScoreLatency);
     if (l1LineBytes <= 0 || (l1LineBytes & (l1LineBytes - 1)) != 0)
-        scsim_fatal("l1LineBytes must be a power of two");
-    if (maxCycles == 0)
-        scsim_fatal("maxCycles must be nonzero");
+        scsim_throw(ConfigError, "l1LineBytes must be a power of two");
 }
 
 namespace {
@@ -82,7 +80,7 @@ parseNumber(const std::string &key, const std::string &value)
     T out{};
     iss >> out;
     if (iss.fail() || !iss.eof())
-        scsim_fatal("cannot parse value '%s' for key '%s'",
+        scsim_throw(ConfigError, "cannot parse value '%s' for key '%s'",
                     value.c_str(), key.c_str());
     return out;
 }
@@ -94,7 +92,7 @@ parseBool(const std::string &key, const std::string &value)
         return true;
     if (value == "0" || value == "false" || value == "off")
         return false;
-    scsim_fatal("cannot parse bool '%s' for key '%s'",
+    scsim_throw(ConfigError, "cannot parse bool '%s' for key '%s'",
                 value.c_str(), key.c_str());
 }
 
@@ -104,7 +102,7 @@ parseScheduler(const std::string &value)
     if (value == "LRR") return SchedulerPolicy::LRR;
     if (value == "GTO") return SchedulerPolicy::GTO;
     if (value == "RBA") return SchedulerPolicy::RBA;
-    scsim_fatal("unknown scheduler policy '%s'", value.c_str());
+    scsim_throw(ConfigError, "unknown scheduler policy '%s'", value.c_str());
 }
 
 AssignPolicy
@@ -115,7 +113,7 @@ parseAssign(const std::string &value)
     if (value == "Shuffle")     return AssignPolicy::Shuffle;
     if (value == "HashSRR")     return AssignPolicy::HashSRR;
     if (value == "HashShuffle") return AssignPolicy::HashShuffle;
-    scsim_fatal("unknown assignment policy '%s'", value.c_str());
+    scsim_throw(ConfigError, "unknown assignment policy '%s'", value.c_str());
 }
 
 } // namespace
@@ -149,7 +147,8 @@ GpuConfig::set(const std::string &key, const std::string &value)
         SCSIM_NUM(l2Bytes), SCSIM_NUM(l2Ways), SCSIM_NUM(l2HitLatency),
         SCSIM_NUM(dramLatency), SCSIM_NUM(l2SectorsPerCyclePerSm),
         SCSIM_NUM(dramSectorsPerCyclePerSm), SCSIM_NUM(smemLatency),
-        SCSIM_NUM(maxCycles), SCSIM_NUM(seed), SCSIM_NUM(rfTraceWindow),
+        SCSIM_NUM(maxCycles), SCSIM_NUM(hangWindowCycles),
+        SCSIM_NUM(seed), SCSIM_NUM(rfTraceWindow),
         SCSIM_BOOL(bankStealing), SCSIM_BOOL(enableIdleSkip),
         SCSIM_BOOL(sharedWarpPool), SCSIM_BOOL(idealWarpMigration),
         SCSIM_BOOL(rfTraceEnable),
@@ -163,7 +162,7 @@ GpuConfig::set(const std::string &key, const std::string &value)
 
     auto it = setters.find(key);
     if (it == setters.end())
-        scsim_fatal("unknown configuration key '%s'", key.c_str());
+        scsim_throw(ConfigError, "unknown configuration key '%s'", key.c_str());
     it->second(*this, value);
 }
 
@@ -172,7 +171,7 @@ GpuConfig::loadFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        scsim_fatal("cannot open config file '%s'", path.c_str());
+        scsim_throw(ConfigError, "cannot open config file '%s'", path.c_str());
     std::string line;
     int lineNo = 0;
     while (std::getline(in, line)) {
@@ -188,7 +187,7 @@ GpuConfig::loadFile(const std::string &path)
         line = line.substr(first, last - first + 1);
         auto eq = line.find('=');
         if (eq == std::string::npos)
-            scsim_fatal("%s:%d: expected key=value", path.c_str(), lineNo);
+            scsim_throw(ConfigError, "%s:%d: expected key=value", path.c_str(), lineNo);
         auto strip = [](std::string s) {
             auto b = s.find_first_not_of(" \t");
             auto e = s.find_last_not_of(" \t");

@@ -110,7 +110,17 @@ struct GpuConfig
     int smemLatency = 24;
 
     // ---- simulation control -------------------------------------------
+    /** Cycle budget; exceeding it throws HangError.  0 = unlimited. */
     std::uint64_t maxCycles = 200'000'000;
+    /**
+     * Forward-progress watchdog: if the simulation retires nothing
+     * (no issue, no writeback, no warp/block completion) for this
+     * many consecutive cycles, it is declared hung and HangError is
+     * thrown with a machine-state diagnostic.  0 = disabled.  The
+     * default is far beyond any legitimate stall (the longest
+     * memory round-trip is ~10^3 cycles).
+     */
+    std::uint64_t hangWindowCycles = 1'000'000;
     bool enableIdleSkip = true;
     std::uint64_t seed = 1;
     bool rfTraceEnable = false;    //!< collect the Fig 14 time series
@@ -127,12 +137,12 @@ struct GpuConfig
         return regFileBytesPerSm / static_cast<std::uint32_t>(subCores);
     }
 
-    /** Abort (fatal) on an inconsistent configuration. */
+    /** Throws ConfigError on an inconsistent configuration. */
     void validate() const;
 
     /**
-     * Apply one "key=value" override; fatal on unknown key or
-     * unparsable value.  Keys use the field names above.
+     * Apply one "key=value" override; throws ConfigError on unknown
+     * key or unparsable value.  Keys use the field names above.
      */
     void set(const std::string &key, const std::string &value);
 

@@ -41,6 +41,7 @@ class IssueCluster
     RegFileArbiter &arbiter() { return arbiter_; }
     const RegFileArbiter &arbiter() const { return arbiter_; }
     OperandCollector &collector() { return collector_; }
+    const OperandCollector &collector() const { return collector_; }
 
     /** Warps currently bound to scheduler @p sched of this cluster. */
     const std::vector<WarpSlot> &

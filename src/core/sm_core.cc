@@ -41,16 +41,16 @@ void
 SmCore::checkKernelFits(const GpuConfig &cfg, const KernelDesc &kernel)
 {
     if (kernel.warpsPerBlock > cfg.maxWarpsPerSm)
-        scsim_fatal("kernel '%s': block of %d warps exceeds SM capacity "
+        scsim_throw(WorkloadError, "kernel '%s': block of %d warps exceeds SM capacity "
                     "%d", kernel.name.c_str(), kernel.warpsPerBlock,
                     cfg.maxWarpsPerSm);
     int share = ceilShare(kernel.warpsPerBlock, cfg.schedulersPerSm);
     if (share > cfg.maxWarpsPerScheduler)
-        scsim_fatal("kernel '%s': %d warps/scheduler exceeds table size "
+        scsim_throw(WorkloadError, "kernel '%s': %d warps/scheduler exceeds table size "
                     "%d", kernel.name.c_str(), share,
                     cfg.maxWarpsPerScheduler);
     if (kernel.smemBytesPerBlock > cfg.smemBytesPerSm)
-        scsim_fatal("kernel '%s': %u B shared memory exceeds SM's %u B",
+        scsim_throw(WorkloadError, "kernel '%s': %u B shared memory exceeds SM's %u B",
                     kernel.name.c_str(), kernel.smemBytesPerBlock,
                     cfg.smemBytesPerSm);
     std::uint32_t clusterRegs =
@@ -58,7 +58,7 @@ SmCore::checkKernelFits(const GpuConfig &cfg, const KernelDesc &kernel)
         * static_cast<std::uint32_t>(cfg.schedulersPerCluster())
         * kernel.regBytesPerWarp();
     if (clusterRegs > cfg.regFileBytesPerCluster())
-        scsim_fatal("kernel '%s': needs %u reg bytes per sub-core, "
+        scsim_throw(WorkloadError, "kernel '%s': needs %u reg bytes per sub-core, "
                     "file holds %u", kernel.name.c_str(), clusterRegs,
                     cfg.regFileBytesPerCluster());
 }

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "core/issue_cluster.hh"
+#include "core/operand_collector.hh"
+#include "core/warp.hh"
 
 namespace scsim {
 
@@ -55,7 +59,24 @@ GpuSim::runLoop(Cycle now, const char *what)
         return false;
     };
 
-    while (blockSched_.pending() || anySmBusy()) {
+    // Retirement fingerprint for the no-progress watchdog: any issue,
+    // writeback, or warp/block completion changes it.  A loop cycling
+    // with this frozen is livelocked — the longest legitimate quiet
+    // stretch is one memory round-trip, orders of magnitude below the
+    // window.
+    auto retired = [&] {
+        return stats_.instructions + stats_.rfWrites
+            + stats_.warpsCompleted + stats_.blocksCompleted;
+    };
+    std::uint64_t lastRetired = retired();
+    Cycle lastProgress = now;
+
+    // Test hook: an armed synthetic hang keeps the loop alive after
+    // the workload drains, so the watchdog path can be exercised
+    // deterministically.
+    const bool forcedHang = FaultInjector::instance().hangArmedFor(what);
+
+    while (blockSched_.pending() || anySmBusy() || forcedHang) {
         blockSched_.dispatch(now);
         for (auto &sm : sms_)
             sm->cycle(now);
@@ -74,13 +95,94 @@ GpuSim::runLoop(Cycle now, const char *what)
             for (auto &sm : sms_)
                 sm->onIdleSkip();
         now = next;
-        if (now >= cfg_.maxCycles)
-            scsim_fatal("'%s' exceeded maxCycles (%llu); likely a "
-                        "too-large workload for this configuration",
-                        what,
-                        static_cast<unsigned long long>(cfg_.maxCycles));
+
+        if (cfg_.maxCycles && now >= cfg_.maxCycles)
+            throw HangError(
+                detail::format(
+                    "'%s' exceeded maxCycles (%llu); likely a "
+                    "too-large workload for this configuration",
+                    what,
+                    static_cast<unsigned long long>(cfg_.maxCycles)),
+                dumpState(now));
+
+        if (cfg_.hangWindowCycles) {
+            if (std::uint64_t r = retired(); r != lastRetired) {
+                lastRetired = r;
+                lastProgress = now;
+            } else if (now - lastProgress >= cfg_.hangWindowCycles) {
+                throw HangError(
+                    detail::format(
+                        "'%s' hung: no forward progress in %llu "
+                        "cycles (cycle %llu)", what,
+                        static_cast<unsigned long long>(
+                            cfg_.hangWindowCycles),
+                        static_cast<unsigned long long>(now)),
+                    dumpState(now));
+            }
+        }
     }
     return now;
+}
+
+std::string
+GpuSim::dumpState(Cycle now) const
+{
+    std::string out = detail::format(
+        "hang diagnostic at cycle %llu: %d SMs, blocks pending=%s, "
+        "active kernels=%d\n",
+        static_cast<unsigned long long>(now),
+        static_cast<int>(sms_.size()),
+        blockSched_.pending() ? "yes" : "no",
+        blockSched_.activeKernels());
+    for (const auto &smPtr : sms_) {
+        const SmCore &sm = *smPtr;
+        out += detail::format(
+            "  sm %d: blocks=%d residentWarps=%d\n", sm.smId(),
+            sm.activeBlocks(), sm.residentWarps());
+        const WarpContext *warps = sm.warpTable();
+        for (int c = 0; c < sm.numClusters(); ++c) {
+            const IssueCluster &cluster = sm.cluster(c);
+            for (int s = 0; s < cluster.numSchedulers(); ++s) {
+                int schedulable = 0, atBarrier = 0, sbPending = 0;
+                for (WarpSlot slot : cluster.warpsOf(s)) {
+                    const WarpContext &w =
+                        warps[static_cast<std::size_t>(slot)];
+                    if (w.schedulable())
+                        ++schedulable;
+                    if (w.atBarrier)
+                        ++atBarrier;
+                    sbPending += w.scoreboard.pendingCount();
+                }
+                out += detail::format(
+                    "    sub-core %d sched %d: warps=%d "
+                    "schedulable=%d atBarrier=%d "
+                    "scoreboardPending=%d\n",
+                    c, s, cluster.warpCount(s), schedulable,
+                    atBarrier, sbPending);
+            }
+            const OperandCollector &oc = cluster.collector();
+            int busy = 0, ready = 0;
+            Cycle oldest = kNoCycle;
+            for (int u = 0; u < oc.size(); ++u) {
+                const CollectorUnit &cu = oc.unit(u);
+                if (!cu.busy)
+                    continue;
+                ++busy;
+                if (cu.ready())
+                    ++ready;
+                oldest = std::min(oldest, cu.allocCycle);
+            }
+            out += detail::format(
+                "    sub-core %d collector: cus=%d busy=%d ready=%d",
+                c, oc.size(), busy, ready);
+            if (busy)
+                out += detail::format(
+                    " oldestAlloc=%llu",
+                    static_cast<unsigned long long>(oldest));
+            out += '\n';
+        }
+    }
+    return out;
 }
 
 SimStats

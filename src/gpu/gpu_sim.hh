@@ -8,6 +8,13 @@
  * immediately actionable work, time jumps to the next writeback
  * event, which is exact because all state changes in between would
  * have been no-ops.
+ *
+ * A two-part watchdog contains runaway simulations: exceeding the
+ * cfg.maxCycles budget, or retiring nothing for cfg.hangWindowCycles
+ * consecutive cycles (a livelock, e.g. a barrier that can never be
+ * satisfied), throws HangError carrying a per-sub-core machine-state
+ * diagnostic instead of spinning forever.  Either check can be
+ * disabled by setting its knob to 0.
  */
 
 #ifndef SCSIM_GPU_GPU_SIM_HH
@@ -50,6 +57,14 @@ class GpuSim
     {
         return *sms_[static_cast<std::size_t>(i)];
     }
+
+    /**
+     * Multi-line machine-state snapshot used by the hang watchdog:
+     * block-scheduler backlog and, per SM and sub-core, scheduler
+     * warp counts, schedulable warps, scoreboard occupancy, and
+     * collector-unit status.
+     */
+    std::string dumpState(Cycle now) const;
 
   private:
     void resetState();

@@ -113,6 +113,7 @@ canonicalText(const GpuConfig &cfg)
     c.field("dramSectorsPerCyclePerSm", cfg.dramSectorsPerCyclePerSm);
     c.field("smemLatency", cfg.smemLatency);
     c.field("maxCycles", cfg.maxCycles);
+    c.field("hangWindowCycles", cfg.hangWindowCycles);
     c.field("enableIdleSkip", cfg.enableIdleSkip);
     c.field("seed", cfg.seed);
     c.field("rfTraceEnable", cfg.rfTraceEnable);

@@ -25,7 +25,7 @@ namespace scsim::runner {
  * Cache format / semantics version.  Bump to invalidate every cached
  * result (e.g. after a change to simulator timing or serialization).
  */
-inline constexpr std::uint32_t kResultFormatVersion = 1;
+inline constexpr std::uint32_t kResultFormatVersion = 2;
 
 /** Deterministic text form of every simulation-relevant config field. */
 std::string canonicalText(const GpuConfig &cfg);

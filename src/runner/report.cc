@@ -32,6 +32,24 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * CSV form of a free-text field (error messages): first line only,
+ * quoted, internal quotes doubled.
+ */
+std::string
+csvEscape(const std::string &s)
+{
+    std::string firstLine = s.substr(0, s.find('\n'));
+    std::string out = "\"";
+    for (char c : firstLine) {
+        if (c == '"')
+            out += "\"\"";
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 std::string
 fmtU64(std::uint64_t v)
 {
@@ -91,6 +109,11 @@ jsonManifest(const SweepSpec &spec, const SweepResult &res)
         out += "      \"suite\": \"" + jsonEscape(job.app.suite)
             + "\",\n";
         out += "      \"key\": \"" + keyToHex(r.key) + "\",\n";
+        out += detail::format("      \"status\": \"%s\",\n",
+                              manifestStatus(r.status));
+        out += "      \"error\": \""
+            + jsonEscape(r.error.substr(0, r.error.find('\n')))
+            + "\",\n";
         out += detail::format(
             "      \"config\": {\"numSms\": %d, \"subCores\": %d, "
             "\"scheduler\": \"%s\", \"assign\": \"%s\", "
@@ -123,8 +146,8 @@ csvManifest(const SweepSpec &spec, const SweepResult &res)
 {
     scsim_assert(spec.jobs.size() == res.results.size(),
                  "manifest spec/result size mismatch");
-    std::string out = "tag,app,suite,key,numSms,subCores,scheduler,"
-                      "assign,salt,concurrent";
+    std::string out = "tag,app,suite,key,status,error,numSms,subCores,"
+                      "scheduler,assign,salt,concurrent";
     for (const auto &[name, member] : kCounters) {
         (void)member;
         out += ',';
@@ -137,6 +160,9 @@ csvManifest(const SweepSpec &spec, const SweepResult &res)
         const JobResult &r = res.results[i];
         out += job.tag + ',' + job.app.name + ',' + job.app.suite + ','
             + keyToHex(r.key);
+        out += ',';
+        out += manifestStatus(r.status);
+        out += ',' + csvEscape(r.error);
         out += detail::format(",%d,%d,%s,%s,%s,%d", job.cfg.numSms,
                               job.cfg.subCores,
                               toString(job.cfg.scheduler),
@@ -168,12 +194,17 @@ writeFile(const std::string &path, const std::string &text)
 std::string
 summaryLine(const SweepResult &res, int jobs)
 {
-    return detail::format(
+    std::string line = detail::format(
         "%zu jobs (%" PRIu64 " simulated, %" PRIu64 " cached) in "
         "%.1fs on %d worker%s",
         res.results.size(), res.executed, res.cacheHits,
         res.wallMs / 1e3, resolveJobs(jobs),
         resolveJobs(jobs) == 1 ? "" : "s");
+    if (res.failed)
+        line += detail::format(", %" PRIu64 " FAILED", res.failed);
+    if (res.skipped)
+        line += detail::format(", %" PRIu64 " skipped", res.skipped);
+    return line;
 }
 
 } // namespace scsim::runner

@@ -3,11 +3,16 @@
  * Structured sweep reporting: JSON and CSV manifests.
  *
  * A manifest records one entry per job, in spec order, containing the
- * job identity (tag, app, content hash, config summary) and the
- * headline statistics.  Manifests deliberately exclude anything
- * execution-dependent — wall-clock, worker count, cache hit/miss —
- * so the same sweep produces byte-identical manifests at any
- * `--jobs N` and whether or not results came from the cache.
+ * job identity (tag, app, content hash, config summary), the job's
+ * status ("ok", "failed", "hang", "skipped") with its error message,
+ * and the headline statistics.  Manifests deliberately exclude
+ * anything execution-dependent — wall-clock, worker count, cache
+ * hit/miss (a cached result reports "ok") — so the same sweep
+ * produces byte-identical manifests at any `--jobs N` and whether or
+ * not results came from the cache.  The one caveat: under
+ * `--fail-fast`/`--max-failures` with multiple workers, *which* jobs
+ * end up "skipped" depends on scheduling — bounded-abort is
+ * inherently an execution-order feature.
  */
 
 #ifndef SCSIM_RUNNER_REPORT_HH
@@ -21,7 +26,7 @@
 namespace scsim::runner {
 
 /** Manifest schema version (bump on field changes). */
-inline constexpr int kManifestVersion = 1;
+inline constexpr int kManifestVersion = 2;
 
 /** The sweep manifest as a JSON document. */
 std::string jsonManifest(const SweepSpec &spec, const SweepResult &res);

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "runner/job_key.hh"
 
 namespace scsim::runner {
@@ -23,18 +25,52 @@ putU64(std::string &out, const char *key, std::uint64_t v)
     out += buf;
 }
 
-} // namespace
-
+/**
+ * Kernel names are caller-controlled free text that lands in a
+ * line-oriented format: escape the line structure (and the escape
+ * character itself) so a name containing '\n' round-trips instead of
+ * splitting the record.
+ */
 std::string
-serializeStats(const SimStats &stats)
+escapeName(const std::string &s)
 {
     std::string out;
-    {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%s v%u\n", kMagic,
-                      kResultFormatVersion);
-        out += buf;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          default:   out += c;
+        }
     }
+    return out;
+}
+
+std::string
+unescapeName(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case 'n':  out += '\n'; break;
+          case 'r':  out += '\r'; break;
+          default:   out += s[i];
+        }
+    }
+    return out;
+}
+
+/** The entry payload: every line after the checksum header. */
+std::string
+serializePayload(const SimStats &stats)
+{
+    std::string out;
     putU64(out, "cycles", stats.cycles);
     putU64(out, "instructions", stats.instructions);
     putU64(out, "threadInstructions", stats.threadInstructions);
@@ -74,7 +110,7 @@ serializeStats(const SimStats &stats)
         out += "kernelSpan ";
         out += buf;
         out += ' ';
-        out += name;      // to end of line; names may contain spaces
+        out += escapeName(name);  // to end of line; may contain spaces
         out += '\n';
     }
     {
@@ -90,21 +126,10 @@ serializeStats(const SimStats &stats)
     return out;
 }
 
-bool
-deserializeStats(const std::string &text, SimStats &out)
+StatsDecode
+parsePayload(const std::string &payload, SimStats &out)
 {
-    std::istringstream in(text);
-    std::string header;
-    if (!std::getline(in, header))
-        return false;
-    {
-        char expect[64];
-        std::snprintf(expect, sizeof expect, "%s v%u", kMagic,
-                      kResultFormatVersion);
-        if (header != expect)
-            return false;
-    }
-
+    std::istringstream in(payload);
     SimStats s;
     std::string line;
     while (std::getline(in, line)) {
@@ -117,29 +142,29 @@ deserializeStats(const std::string &text, SimStats &out)
             return static_cast<bool>(ls >> field);
         };
 
-        if (key == "cycles") { if (!u64(s.cycles)) return false; }
-        else if (key == "instructions") { if (!u64(s.instructions)) return false; }
-        else if (key == "threadInstructions") { if (!u64(s.threadInstructions)) return false; }
-        else if (key == "schedCycles") { if (!u64(s.schedCycles)) return false; }
-        else if (key == "issueSlotsUsed") { if (!u64(s.issueSlotsUsed)) return false; }
-        else if (key == "stallNoWarp") { if (!u64(s.stallNoWarp)) return false; }
-        else if (key == "stallScoreboard") { if (!u64(s.stallScoreboard)) return false; }
-        else if (key == "stallNoCu") { if (!u64(s.stallNoCu)) return false; }
-        else if (key == "cuTurnaroundSum") { if (!u64(s.cuTurnaroundSum)) return false; }
-        else if (key == "cuDispatches") { if (!u64(s.cuDispatches)) return false; }
-        else if (key == "rfReads") { if (!u64(s.rfReads)) return false; }
-        else if (key == "rfWrites") { if (!u64(s.rfWrites)) return false; }
-        else if (key == "rfBankConflictCycles") { if (!u64(s.rfBankConflictCycles)) return false; }
-        else if (key == "collectorFullStalls") { if (!u64(s.collectorFullStalls)) return false; }
-        else if (key == "execStructuralStalls") { if (!u64(s.execStructuralStalls)) return false; }
-        else if (key == "l1Accesses") { if (!u64(s.l1Accesses)) return false; }
-        else if (key == "l1Misses") { if (!u64(s.l1Misses)) return false; }
-        else if (key == "l2Accesses") { if (!u64(s.l2Accesses)) return false; }
-        else if (key == "l2Misses") { if (!u64(s.l2Misses)) return false; }
-        else if (key == "blocksCompleted") { if (!u64(s.blocksCompleted)) return false; }
-        else if (key == "warpsCompleted") { if (!u64(s.warpsCompleted)) return false; }
-        else if (key == "assignSpills") { if (!u64(s.assignSpills)) return false; }
-        else if (key == "warpMigrations") { if (!u64(s.warpMigrations)) return false; }
+        if (key == "cycles") { if (!u64(s.cycles)) return StatsDecode::Corrupt; }
+        else if (key == "instructions") { if (!u64(s.instructions)) return StatsDecode::Corrupt; }
+        else if (key == "threadInstructions") { if (!u64(s.threadInstructions)) return StatsDecode::Corrupt; }
+        else if (key == "schedCycles") { if (!u64(s.schedCycles)) return StatsDecode::Corrupt; }
+        else if (key == "issueSlotsUsed") { if (!u64(s.issueSlotsUsed)) return StatsDecode::Corrupt; }
+        else if (key == "stallNoWarp") { if (!u64(s.stallNoWarp)) return StatsDecode::Corrupt; }
+        else if (key == "stallScoreboard") { if (!u64(s.stallScoreboard)) return StatsDecode::Corrupt; }
+        else if (key == "stallNoCu") { if (!u64(s.stallNoCu)) return StatsDecode::Corrupt; }
+        else if (key == "cuTurnaroundSum") { if (!u64(s.cuTurnaroundSum)) return StatsDecode::Corrupt; }
+        else if (key == "cuDispatches") { if (!u64(s.cuDispatches)) return StatsDecode::Corrupt; }
+        else if (key == "rfReads") { if (!u64(s.rfReads)) return StatsDecode::Corrupt; }
+        else if (key == "rfWrites") { if (!u64(s.rfWrites)) return StatsDecode::Corrupt; }
+        else if (key == "rfBankConflictCycles") { if (!u64(s.rfBankConflictCycles)) return StatsDecode::Corrupt; }
+        else if (key == "collectorFullStalls") { if (!u64(s.collectorFullStalls)) return StatsDecode::Corrupt; }
+        else if (key == "execStructuralStalls") { if (!u64(s.execStructuralStalls)) return StatsDecode::Corrupt; }
+        else if (key == "l1Accesses") { if (!u64(s.l1Accesses)) return StatsDecode::Corrupt; }
+        else if (key == "l1Misses") { if (!u64(s.l1Misses)) return StatsDecode::Corrupt; }
+        else if (key == "l2Accesses") { if (!u64(s.l2Accesses)) return StatsDecode::Corrupt; }
+        else if (key == "l2Misses") { if (!u64(s.l2Misses)) return StatsDecode::Corrupt; }
+        else if (key == "blocksCompleted") { if (!u64(s.blocksCompleted)) return StatsDecode::Corrupt; }
+        else if (key == "warpsCompleted") { if (!u64(s.warpsCompleted)) return StatsDecode::Corrupt; }
+        else if (key == "assignSpills") { if (!u64(s.assignSpills)) return StatsDecode::Corrupt; }
+        else if (key == "warpMigrations") { if (!u64(s.warpMigrations)) return StatsDecode::Corrupt; }
         else if (key == "issueRow") {
             std::vector<std::uint64_t> row;
             std::uint64_t v;
@@ -149,16 +174,16 @@ deserializeStats(const std::string &text, SimStats &out)
         } else if (key == "kernelSpan") {
             std::uint64_t span;
             if (!(ls >> span))
-                return false;
+                return StatsDecode::Corrupt;
             std::string name;
             std::getline(ls, name);
             if (!name.empty() && name.front() == ' ')
                 name.erase(0, 1);
-            s.kernelSpans.emplace_back(std::move(name), span);
+            s.kernelSpans.emplace_back(unescapeName(name), span);
         } else if (key == "rfTraceWindow") {
             std::uint64_t w;
             if (!u64(w))
-                return false;
+                return StatsDecode::Corrupt;
             s.rfReadTrace = TimeSeries{ w };
         } else if (key == "rfTraceSamples") {
             std::vector<double> samples;
@@ -171,7 +196,52 @@ deserializeStats(const std::string &text, SimStats &out)
         // format version bump.
     }
     out = std::move(s);
-    return true;
+    return StatsDecode::Ok;
+}
+
+} // namespace
+
+std::string
+serializeStats(const SimStats &stats)
+{
+    std::string payload = serializePayload(stats);
+    char header[96];
+    std::snprintf(header, sizeof header, "%s v%u fnv1a %s\n", kMagic,
+                  kResultFormatVersion,
+                  keyToHex(hashString(payload)).c_str());
+    return header + payload;
+}
+
+StatsDecode
+decodeStats(const std::string &text, SimStats &out)
+{
+    auto nl = text.find('\n');
+    if (nl == std::string::npos)
+        return StatsDecode::Corrupt;
+    std::istringstream hs(text.substr(0, nl));
+    std::string magic, version, algo, sum;
+    if (!(hs >> magic >> version) || magic != kMagic)
+        return StatsDecode::Corrupt;
+    {
+        char expect[16];
+        std::snprintf(expect, sizeof expect, "v%u", kResultFormatVersion);
+        if (version != expect)
+            return StatsDecode::VersionSkew;
+    }
+    if (!(hs >> algo >> sum) || algo != "fnv1a")
+        return StatsDecode::Corrupt;
+
+    std::string payload = text.substr(nl + 1);
+    if (keyToHex(hashString(payload)) != sum)
+        return StatsDecode::Corrupt;
+
+    return parsePayload(payload, out);
+}
+
+bool
+deserializeStats(const std::string &text, SimStats &out)
+{
+    return decodeStats(text, out) == StatsDecode::Ok;
 }
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
@@ -181,7 +251,7 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec)
-        scsim_fatal("cannot create cache directory '%s': %s",
+        scsim_throw(CacheError, "cannot create cache directory '%s': %s",
                     dir_.c_str(), ec.message().c_str());
 }
 
@@ -201,19 +271,41 @@ ResultCache::lookup(std::uint64_t key, SimStats &out)
         return true;
     }
     if (!dir_.empty()) {
+        if (FaultInjector::instance().shouldFailCacheRead())
+            scsim_throw(CacheError, "injected cache read fault for key %s",
+                        keyToHex(key).c_str());
         std::ifstream in(pathFor(key));
         if (in) {
             std::ostringstream text;
             text << in.rdbuf();
             SimStats s;
-            if (deserializeStats(text.str(), s)) {
+            switch (decodeStats(text.str(), s)) {
+              case StatsDecode::Ok:
                 memory_.emplace(key, s);
                 out = std::move(s);
                 ++hits_;
                 return true;
+              case StatsDecode::VersionSkew:
+                // Another format version: a legitimate miss; the
+                // re-run overwrites the stale entry.
+                break;
+              case StatsDecode::Corrupt: {
+                // Move the damaged file aside so the evidence
+                // survives and the re-run's write cannot be
+                // mistaken for the bad entry.
+                std::string quarantine =
+                    dir_ + "/" + keyToHex(key) + ".corrupt";
+                std::error_code ec;
+                std::filesystem::rename(pathFor(key), quarantine, ec);
+                if (ec)
+                    std::filesystem::remove(pathFor(key), ec);
+                ++quarantined_;
+                scsim_warn("quarantined corrupt cache entry %s -> %s; "
+                           "re-running job", pathFor(key).c_str(),
+                           quarantine.c_str());
+                break;
+              }
             }
-            scsim_warn("ignoring unreadable cache entry %s",
-                       pathFor(key).c_str());
         }
     }
     ++misses_;
@@ -227,22 +319,28 @@ ResultCache::store(std::uint64_t key, const SimStats &stats)
     memory_.insert_or_assign(key, stats);
     if (dir_.empty())
         return;
+    if (FaultInjector::instance().shouldFailCacheWrite())
+        scsim_throw(CacheError, "injected cache write fault for key %s",
+                    keyToHex(key).c_str());
     std::string path = pathFor(key);
     std::string tmp = path + ".tmp" + keyToHex(key);
     {
         std::ofstream outFile(tmp, std::ios::trunc);
-        if (!outFile) {
-            scsim_warn("cannot write cache entry %s", tmp.c_str());
-            return;
-        }
+        if (!outFile)
+            scsim_throw(CacheError, "cannot write cache entry %s",
+                        tmp.c_str());
         outFile << serializeStats(stats);
+        if (!outFile.good())
+            scsim_throw(CacheError, "short write to cache entry %s",
+                        tmp.c_str());
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
-        scsim_warn("cannot finalize cache entry %s: %s", path.c_str(),
-                   ec.message().c_str());
-        std::filesystem::remove(tmp, ec);
+        std::error_code rmEc;
+        std::filesystem::remove(tmp, rmEc);
+        scsim_throw(CacheError, "cannot finalize cache entry %s: %s",
+                    path.c_str(), ec.message().c_str());
     }
 }
 
@@ -258,6 +356,13 @@ ResultCache::misses() const
 {
     std::lock_guard lock(mutex_);
     return misses_;
+}
+
+std::uint64_t
+ResultCache::quarantined() const
+{
+    std::lock_guard lock(mutex_);
+    return quarantined_;
 }
 
 } // namespace scsim::runner

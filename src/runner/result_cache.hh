@@ -7,8 +7,15 @@
  * on disk so re-running a figure after an unrelated code change skips
  * every already-computed point.  Disk entries are written to a
  * temporary file and renamed into place, so concurrent writers and
- * torn writes can never corrupt a visible entry; unreadable or
- * version-skewed entries degrade to cache misses, never to errors.
+ * torn writes can never corrupt a visible entry.
+ *
+ * Integrity: every entry carries an FNV-1a checksum of its payload in
+ * the header line.  A checksum or parse failure quarantines the file
+ * to `<key>.corrupt` (with a warning) and degrades to a cache miss,
+ * so the job transparently re-runs; a version-skewed entry (written
+ * by an older or newer format) is a plain miss.  Transient I/O
+ * faults — including injected ones (common/fault_inject.hh) — throw
+ * CacheError, which the sweep engine retries with bounded backoff.
  *
  * Layout: `<dir>/<16-hex-digit key>.stats`, one file per result, in a
  * line-oriented `key value` format (see serializeStats).
@@ -26,10 +33,26 @@
 
 namespace scsim::runner {
 
-/** Deterministic text form of a SimStats record. */
+/**
+ * Deterministic text form of a SimStats record: a header line with
+ * format version and payload checksum, then `key value` lines.
+ * Kernel names are backslash-escaped so embedded newlines cannot
+ * corrupt the line-oriented format.
+ */
 std::string serializeStats(const SimStats &stats);
 
-/** Inverse of serializeStats; false on malformed/version-skewed text. */
+/** Outcome of decoding a cache entry's text. */
+enum class StatsDecode
+{
+    Ok,           //!< checksum verified, payload parsed
+    VersionSkew,  //!< well-formed but another format version
+    Corrupt,      //!< bad header, checksum mismatch, or parse failure
+};
+
+/** Decode @p text into @p out; see StatsDecode. */
+StatsDecode decodeStats(const std::string &text, SimStats &out);
+
+/** Convenience: decodeStats(...) == Ok. */
 bool deserializeStats(const std::string &text, SimStats &out);
 
 class ResultCache
@@ -38,13 +61,24 @@ class ResultCache
     /** Memory-only cache. */
     ResultCache() = default;
 
-    /** Memory + disk cache rooted at @p dir (created if absent). */
+    /**
+     * Memory + disk cache rooted at @p dir (created if absent;
+     * throws CacheError when creation fails).
+     */
     explicit ResultCache(std::string dir);
 
-    /** True (and fills @p out) if @p key is cached in memory or disk. */
+    /**
+     * True (and fills @p out) if @p key is cached in memory or disk.
+     * Corrupt disk entries are quarantined and read as misses.
+     * Throws CacheError on a (possibly transient) disk read fault.
+     */
     bool lookup(std::uint64_t key, SimStats &out);
 
-    /** Record @p stats under @p key in memory and, if set, on disk. */
+    /**
+     * Record @p stats under @p key in memory and, if set, on disk.
+     * The in-memory entry is recorded even when the disk write
+     * throws CacheError, so a retry only repeats the I/O.
+     */
     void store(std::uint64_t key, const SimStats &stats);
 
     const std::string &dir() const { return dir_; }
@@ -52,6 +86,7 @@ class ResultCache
     // Counters (monotonic, thread-safe via the cache mutex).
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    std::uint64_t quarantined() const;
 
   private:
     std::string pathFor(std::uint64_t key) const;
@@ -61,6 +96,7 @@ class ResultCache
     std::unordered_map<std::uint64_t, SimStats> memory_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t quarantined_ = 0;
 };
 
 } // namespace scsim::runner

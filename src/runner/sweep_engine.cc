@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "common/logging.hh"
@@ -24,7 +25,59 @@ msSince(Clock::time_point start)
         .count();
 }
 
+/**
+ * Run @p fn, retrying a CacheError up to @p attempts times with
+ * doubling backoff.  Exhausting the attempts rethrows; the caller
+ * decides whether that degrades (cache misses never fail a sweep).
+ */
+template <typename Fn>
+auto
+retryTransient(int attempts, const char *what, Fn &&fn)
+    -> decltype(fn())
+{
+    attempts = std::max(attempts, 1);
+    for (int attempt = 1;; ++attempt) {
+        try {
+            return fn();
+        } catch (const CacheError &e) {
+            if (attempt >= attempts)
+                throw;
+            scsim_warn("%s failed (attempt %d/%d), backing off: %s",
+                       what, attempt, attempts, e.what());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1LL << attempt));
+        }
+    }
+}
+
+/** First line of a (possibly multi-line) error message. */
+std::string
+firstLine(const std::string &s)
+{
+    auto nl = s.find('\n');
+    return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
 } // namespace
+
+const char *
+toString(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Skipped: return "skipped";
+      case JobStatus::Ok:      return "ok";
+      case JobStatus::Cached:  return "cached";
+      case JobStatus::Failed:  return "failed";
+      case JobStatus::Hang:    return "hang";
+    }
+    return "?";
+}
+
+const char *
+manifestStatus(JobStatus s)
+{
+    return s == JobStatus::Cached ? "ok" : toString(s);
+}
 
 const SimStats &
 SweepResult::stats(const std::string &tag) const
@@ -32,7 +85,7 @@ SweepResult::stats(const std::string &tag) const
     for (std::size_t i = 0; i < tags.size(); ++i)
         if (tags[i] == tag)
             return results[i].stats;
-    scsim_fatal("sweep has no job tagged '%s'", tag.c_str());
+    scsim_throw(ConfigError, "sweep has no job tagged '%s'", tag.c_str());
 }
 
 Cycle
@@ -51,11 +104,29 @@ SweepEngine::run(const SweepSpec &spec)
 {
     auto sweepStart = Clock::now();
 
-    std::unordered_set<std::string> seen;
-    for (const SimJob &job : spec.jobs) {
-        if (!seen.insert(job.tag).second)
-            scsim_fatal("duplicate sweep tag '%s'", job.tag.c_str());
-        job.cfg.validate();
+    // Validate everything before running anything: one pass collects
+    // every duplicate tag and invalid config, so a bad 400-point
+    // sweep is rejected whole instead of dying mid-flight on job 312.
+    {
+        std::string problems;
+        std::unordered_set<std::string> seen;
+        for (const SimJob &job : spec.jobs) {
+            if (!seen.insert(job.tag).second)
+                problems += detail::format(
+                    "  duplicate sweep tag '%s' (app '%s')\n",
+                    job.tag.c_str(), job.app.name.c_str());
+            try {
+                job.cfg.validate();
+            } catch (const ConfigError &e) {
+                problems += detail::format(
+                    "  job '%s' (app '%s'): %s\n", job.tag.c_str(),
+                    job.app.name.c_str(), e.what());
+            }
+        }
+        if (!problems.empty())
+            scsim_throw(ConfigError,
+                        "invalid sweep spec; no jobs were run:\n%s",
+                        problems.c_str());
     }
 
     SweepResult out;
@@ -73,25 +144,44 @@ SweepEngine::run(const SweepSpec &spec)
             return;
         std::lock_guard lock(progressMutex);
         ++done;
-        std::fprintf(stream,
-                     "[%3zu/%zu] %-28s %12llu cycles  ipc %5.2f  %s\n",
-                     done, spec.jobs.size(),
-                     spec.jobs[idx].tag.c_str(),
-                     static_cast<unsigned long long>(r.stats.cycles),
-                     r.stats.ipc(),
-                     r.cached
-                         ? "(cache)"
-                         : detail::format("(%.1fs)", r.wallMs / 1e3)
-                               .c_str());
+        if (r.ok())
+            std::fprintf(
+                stream,
+                "[%3zu/%zu] %-28s %12llu cycles  ipc %5.2f  %s\n",
+                done, spec.jobs.size(), spec.jobs[idx].tag.c_str(),
+                static_cast<unsigned long long>(r.stats.cycles),
+                r.stats.ipc(),
+                r.cached
+                    ? "(cache)"
+                    : detail::format("(%.1fs)", r.wallMs / 1e3)
+                          .c_str());
+        else
+            std::fprintf(stream, "[%3zu/%zu] %-28s %s: %s\n", done,
+                         spec.jobs.size(), spec.jobs[idx].tag.c_str(),
+                         toString(r.status),
+                         firstLine(r.error).c_str());
         std::fflush(stream);
     };
 
-    // Phase 1: resolve cache hits and collect the misses.
+    // Phase 1: resolve cache hits and collect the misses.  A cache
+    // read that keeps failing is a miss, not a sweep failure.
     std::vector<std::size_t> missIdx;
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         JobResult &r = out.results[i];
         r.key = jobKey(spec.jobs[i]);
-        if (cache_.lookup(r.key, r.stats)) {
+        bool hit = false;
+        try {
+            hit = retryTransient(opts_.cacheAttempts, "cache lookup",
+                                 [&] {
+                                     return cache_.lookup(r.key,
+                                                          r.stats);
+                                 });
+        } catch (const CacheError &e) {
+            scsim_warn("cache lookup for '%s' gave up, treating as "
+                       "miss: %s", spec.jobs[i].tag.c_str(), e.what());
+        }
+        if (hit) {
+            r.status = JobStatus::Cached;
             r.cached = true;
             ++out.cacheHits;
             report(i, r);
@@ -108,21 +198,67 @@ SweepEngine::run(const SweepSpec &spec)
                              > spec.jobs[b].expectedCost();
                      });
 
-    runOrdered(missIdx, opts_.jobs, [&](std::size_t i) {
-        const SimJob &job = spec.jobs[i];
+    auto stop = [&](std::size_t failures) {
+        return (opts_.failFast && failures > 0)
+            || (opts_.maxFailures && failures >= opts_.maxFailures);
+    };
+
+    std::vector<std::exception_ptr> errors =
+        runOrdered(missIdx, opts_.jobs, [&](std::size_t i) {
+            const SimJob &job = spec.jobs[i];
+            JobResult &r = out.results[i];
+            auto jobStart = Clock::now();
+
+            Application app = buildApp(job.app, job.salt);
+            GpuSim sim(job.cfg);
+            r.stats = job.concurrent ? sim.runConcurrent(app)
+                                     : sim.run(app);
+            r.wallMs = msSince(jobStart);
+            r.status = JobStatus::Ok;
+
+            // A store that keeps failing loses only the disk entry;
+            // the computed result stands.
+            try {
+                retryTransient(opts_.cacheAttempts, "cache store",
+                               [&] { cache_.store(r.key, r.stats); });
+            } catch (const CacheError &e) {
+                scsim_warn("cache store for '%s' gave up, result not "
+                           "cached: %s", job.tag.c_str(), e.what());
+            }
+            report(i, r);
+        }, stop);
+
+    // Classify whatever escaped the workers.  The HangError
+    // diagnostic (per-sub-core issue and collector state) goes to the
+    // progress stream; the manifest keeps the one-line summary.
+    for (std::size_t k = 0; k < missIdx.size(); ++k) {
+        std::size_t i = missIdx[k];
         JobResult &r = out.results[i];
-        auto jobStart = Clock::now();
-
-        Application app = buildApp(job.app, job.salt);
-        GpuSim sim(job.cfg);
-        r.stats = job.concurrent ? sim.runConcurrent(app)
-                                 : sim.run(app);
-        r.wallMs = msSince(jobStart);
-
-        cache_.store(r.key, r.stats);
-        report(i, r);
-    });
-    out.executed = missIdx.size();
+        if (errors[k]) {
+            r.stats = SimStats{};
+            try {
+                std::rethrow_exception(errors[k]);
+            } catch (const HangError &e) {
+                r.status = JobStatus::Hang;
+                r.error = e.what();
+                if (opts_.progress) {
+                    std::fprintf(stream, "%s", e.diagnostic().c_str());
+                    std::fflush(stream);
+                }
+            } catch (const std::exception &e) {
+                r.status = JobStatus::Failed;
+                r.error = e.what();
+            }
+            ++out.failed;
+            ++out.executed;
+            report(i, r);
+        } else if (r.status == JobStatus::Skipped) {
+            r.error = "skipped: failure limit reached";
+            ++out.skipped;
+        } else {
+            ++out.executed;
+        }
+    }
 
     out.wallMs = msSince(sweepStart);
     return out;

@@ -2,15 +2,24 @@
  * @file
  * The sweep engine: executes a SweepSpec on a worker pool.
  *
- * Execution model: every job's cache key is computed up front; cache
- * hits are resolved immediately and the remaining jobs are issued to
- * the pool longest-expected-first, which keeps the tail of a sweep
- * from being serialized behind one giant simulation.  Each worker
- * owns its entire GpuSim, so jobs share nothing but the result slots
- * (disjoint per job) and the cache/progress locks.  Results are
- * reported in spec order regardless of completion order, making the
- * merged output — and any manifest derived from it — byte-identical
- * for every worker count.
+ * Execution model: the whole spec is validated first (all problems
+ * reported at once, before any job runs), every job's cache key is
+ * computed up front, cache hits are resolved immediately, and the
+ * remaining jobs are issued to the pool longest-expected-first, which
+ * keeps the tail of a sweep from being serialized behind one giant
+ * simulation.  Each worker owns its entire GpuSim, so jobs share
+ * nothing but the result slots (disjoint per job) and the
+ * cache/progress locks.  Results are reported in spec order
+ * regardless of completion order, making the merged output — and any
+ * manifest derived from it — byte-identical for every worker count.
+ *
+ * Failure containment: a job that throws (WorkloadError from an
+ * unrunnable kernel, HangError from the forward-progress watchdog,
+ * anything else unexpected) is recorded in its JobResult and the
+ * sweep carries on; `failFast` / `maxFailures` bound how much is
+ * attempted after things start going wrong.  Transient cache I/O
+ * faults are retried with bounded backoff and can degrade to a
+ * miss / unsaved result, but never fail a job.
  */
 
 #ifndef SCSIM_RUNNER_SWEEP_ENGINE_HH
@@ -26,13 +35,39 @@
 
 namespace scsim::runner {
 
+/** How one job ended. */
+enum class JobStatus
+{
+    Skipped,  //!< never claimed (failFast / maxFailures tripped)
+    Ok,       //!< simulated to completion
+    Cached,   //!< served from the result cache
+    Failed,   //!< threw (workload/config error at runtime)
+    Hang,     //!< forward-progress watchdog or cycle budget fired
+};
+
+/** Debug name: "skipped"/"ok"/"cached"/"failed"/"hang". */
+const char *toString(JobStatus s);
+
+/**
+ * Manifest form of a status.  Cached collapses to "ok": manifests
+ * exclude execution-dependent facts, and cache hits are exactly that.
+ */
+const char *manifestStatus(JobStatus s);
+
 /** Outcome of one job, in spec order. */
 struct JobResult
 {
     std::uint64_t key = 0;   //!< content hash (see jobKey)
-    SimStats stats;
+    SimStats stats;          //!< zeros unless status is Ok/Cached
+    JobStatus status = JobStatus::Skipped;
+    std::string error;       //!< what() of the failure; empty when ok
     bool cached = false;     //!< served from the result cache
     double wallMs = 0.0;     //!< simulation time; 0 when cached
+
+    bool ok() const
+    {
+        return status == JobStatus::Ok || status == JobStatus::Cached;
+    }
 };
 
 /** Merged outcome of a sweep; results are parallel to spec.jobs. */
@@ -43,9 +78,13 @@ struct SweepResult
 
     double wallMs = 0.0;         //!< whole-sweep wall clock
     std::uint64_t cacheHits = 0;
-    std::uint64_t executed = 0;
+    std::uint64_t executed = 0;  //!< claimed jobs, including failed
+    std::uint64_t failed = 0;    //!< Failed + Hang
+    std::uint64_t skipped = 0;   //!< never claimed
 
-    /** Stats for @p tag; fatal if the sweep had no such job. */
+    bool allOk() const { return failed == 0 && skipped == 0; }
+
+    /** Stats for @p tag; throws ConfigError if the sweep had no such job. */
     const SimStats &stats(const std::string &tag) const;
 
     /** Cycles for @p tag (the common figure-harness access). */
@@ -57,7 +96,13 @@ class SweepEngine
   public:
     explicit SweepEngine(SweepOptions opts = {});
 
-    /** Execute @p spec; fatal on duplicate tags or invalid configs. */
+    /**
+     * Execute @p spec.  Throws ConfigError — before any job runs —
+     * listing every duplicate tag and invalid config with the
+     * offending job's tag and app.  Per-job runtime failures do not
+     * throw; they are recorded in the returned results (see
+     * JobStatus) and counted in SweepResult::failed.
+     */
     SweepResult run(const SweepSpec &spec);
 
     ResultCache &cache() { return cache_; }

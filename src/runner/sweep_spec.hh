@@ -74,6 +74,22 @@ struct SweepOptions
 
     /** Where progress lines go (never the manifest); default stderr. */
     std::FILE *progressStream = nullptr;
+
+    /**
+     * Stop claiming new jobs after the first failure.  In-flight jobs
+     * finish; unclaimed jobs are reported as skipped.
+     */
+    bool failFast = false;
+
+    /** Stop claiming new jobs after this many failures; 0 = no limit. */
+    std::uint64_t maxFailures = 0;
+
+    /**
+     * Attempts per cache I/O operation before a transient CacheError
+     * is given up on (the cache degrades to a miss / unsaved result,
+     * never a failed job).  Backoff doubles between attempts.
+     */
+    int cacheAttempts = 3;
 };
 
 } // namespace scsim::runner

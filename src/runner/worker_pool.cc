@@ -11,42 +11,66 @@ int
 resolveJobs(int jobs)
 {
     if (jobs < 0)
-        scsim_fatal("worker count must be >= 0 (got %d)", jobs);
+        scsim_throw(ConfigError, "worker count must be >= 0 (got %d)", jobs);
     if (jobs > 0)
         return jobs;
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
 }
 
-void
+std::vector<std::exception_ptr>
 runOrdered(const std::vector<std::size_t> &order, int threads,
-           const std::function<void(std::size_t)> &fn)
+           const std::function<void(std::size_t)> &fn,
+           const std::function<bool(std::size_t)> &stop)
 {
     threads = resolveJobs(threads);
+    std::vector<std::exception_ptr> errors(order.size());
+    std::atomic<std::size_t> failures{ 0 };
+
+    auto runOne = [&](std::size_t k) {
+        try {
+            fn(order[k]);
+        } catch (...) {
+            errors[k] = std::current_exception();
+            failures.fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+    auto shouldStop = [&] {
+        return stop && stop(failures.load(std::memory_order_relaxed));
+    };
+
     if (threads == 1 || order.size() <= 1) {
-        for (std::size_t idx : order)
-            fn(idx);
-        return;
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            if (shouldStop())
+                break;
+            runOne(k);
+        }
+        return errors;
     }
 
     std::atomic<std::size_t> cursor{ 0 };
     auto worker = [&] {
         for (;;) {
-            std::size_t i = cursor.fetch_add(1,
-                                             std::memory_order_relaxed);
-            if (i >= order.size())
+            if (shouldStop())
                 return;
-            fn(order[i]);
+            std::size_t k = cursor.fetch_add(1,
+                                             std::memory_order_relaxed);
+            if (k >= order.size())
+                return;
+            runOne(k);
         }
     };
 
-    std::vector<std::jthread> pool;
-    std::size_t n = std::min<std::size_t>(
-        static_cast<std::size_t>(threads), order.size());
-    pool.reserve(n);
-    for (std::size_t t = 0; t < n; ++t)
-        pool.emplace_back(worker);
-    // jthread joins on destruction.
+    {
+        std::vector<std::jthread> pool;
+        std::size_t n = std::min<std::size_t>(
+            static_cast<std::size_t>(threads), order.size());
+        pool.reserve(n);
+        for (std::size_t t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        // jthread joins on destruction.
+    }
+    return errors;
 }
 
 } // namespace scsim::runner

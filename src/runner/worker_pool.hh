@@ -6,15 +6,19 @@
  * std::jthread workers.  There is deliberately no work queue object
  * to synchronize on beyond a single atomic cursor: jobs are
  * independent by construction (each worker owns its entire GpuSim),
- * so the only shared state is the cursor and whatever the callback
- * itself locks.  Exceptions are not expected (the simulator reports
- * errors via scsim_fatal); std::terminate on escape is acceptable.
+ * so the only shared state is the cursor, the failure counter, and
+ * whatever the callback itself locks.
+ *
+ * Error containment: an exception escaping the callback is captured
+ * into the returned slot for that position instead of tearing down
+ * the process, so one failed job can never take out its siblings.
  */
 
 #ifndef SCSIM_RUNNER_WORKER_POOL_HH
 #define SCSIM_RUNNER_WORKER_POOL_HH
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <vector>
 
@@ -25,12 +29,25 @@ int resolveJobs(int jobs);
 
 /**
  * Run `fn(order[i])` for every i, distributing indices over
- * @p threads workers in the given order.  Returns when all are done.
- * With threads == 1 the calling thread runs everything itself, so a
- * single-threaded sweep has no scheduling noise at all.
+ * @p threads workers in the given order.  Returns when all claimed
+ * jobs are done.  With threads == 1 the calling thread runs
+ * everything itself, so a single-threaded sweep has no scheduling
+ * noise at all.
+ *
+ * The returned vector is parallel to @p order: null for a position
+ * that completed (or was never claimed), the captured exception
+ * otherwise.
+ *
+ * @p stop, when set, is polled with the failure count so far before
+ * each claim; once it returns true no further indices are claimed
+ * (in-flight jobs still finish).  Positions never claimed keep a
+ * null slot — the caller distinguishes them by whatever state @p fn
+ * did not get to write.
  */
-void runOrdered(const std::vector<std::size_t> &order, int threads,
-                const std::function<void(std::size_t)> &fn);
+std::vector<std::exception_ptr>
+runOrdered(const std::vector<std::size_t> &order, int threads,
+           const std::function<void(std::size_t)> &fn,
+           const std::function<bool(std::size_t failures)> &stop = {});
 
 } // namespace scsim::runner
 

@@ -17,37 +17,37 @@ void
 KernelDesc::validate() const
 {
     if (numBlocks < 1)
-        scsim_fatal("kernel '%s': numBlocks must be >= 1", name.c_str());
+        scsim_throw(WorkloadError, "kernel '%s': numBlocks must be >= 1", name.c_str());
     if (warpsPerBlock < 1 || warpsPerBlock > 64)
-        scsim_fatal("kernel '%s': warpsPerBlock %d out of [1,64]",
+        scsim_throw(WorkloadError, "kernel '%s': warpsPerBlock %d out of [1,64]",
                     name.c_str(), warpsPerBlock);
     if (regsPerThread < 1 || regsPerThread > 256)
-        scsim_fatal("kernel '%s': regsPerThread %d out of [1,256]",
+        scsim_throw(WorkloadError, "kernel '%s': regsPerThread %d out of [1,256]",
                     name.c_str(), regsPerThread);
     if (shapeOfWarp.size() != static_cast<std::size_t>(warpsPerBlock))
-        scsim_fatal("kernel '%s': shapeOfWarp has %zu entries, "
+        scsim_throw(WorkloadError, "kernel '%s': shapeOfWarp has %zu entries, "
                     "expected %d", name.c_str(), shapeOfWarp.size(),
                     warpsPerBlock);
     if (shapes.empty())
-        scsim_fatal("kernel '%s': no shapes", name.c_str());
+        scsim_throw(WorkloadError, "kernel '%s': no shapes", name.c_str());
     for (std::uint16_t s : shapeOfWarp) {
         if (s >= shapes.size())
-            scsim_fatal("kernel '%s': shape index %u out of range",
+            scsim_throw(WorkloadError, "kernel '%s': shape index %u out of range",
                         name.c_str(), s);
     }
     for (std::size_t si = 0; si < shapes.size(); ++si) {
         const auto &code = shapes[si].code;
         if (code.empty() || code.back().op != Opcode::EXIT)
-            scsim_fatal("kernel '%s': shape %zu must end in EXIT",
+            scsim_throw(WorkloadError, "kernel '%s': shape %zu must end in EXIT",
                         name.c_str(), si);
         for (std::size_t pc = 0; pc < code.size(); ++pc) {
             const Instruction &inst = code[pc];
             if (inst.op == Opcode::EXIT && pc + 1 != code.size())
-                scsim_fatal("kernel '%s': shape %zu has EXIT mid-stream",
+                scsim_throw(WorkloadError, "kernel '%s': shape %zu has EXIT mid-stream",
                             name.c_str(), si);
             auto checkReg = [&](RegIndex r) {
                 if (r != kNoReg && (r < 0 || r >= regsPerThread))
-                    scsim_fatal("kernel '%s': shape %zu pc %zu register "
+                    scsim_throw(WorkloadError, "kernel '%s': shape %zu pc %zu register "
                                 "%d out of window [0,%d)", name.c_str(),
                                 si, pc, r, regsPerThread);
             };
@@ -55,7 +55,7 @@ KernelDesc::validate() const
             for (RegIndex r : inst.srcs)
                 checkReg(r);
             if (isMemory(inst.op) && inst.mem.footprintBytes == 0)
-                scsim_fatal("kernel '%s': shape %zu pc %zu memory "
+                scsim_throw(WorkloadError, "kernel '%s': shape %zu pc %zu memory "
                             "footprint is zero", name.c_str(), si, pc);
         }
     }
@@ -74,7 +74,7 @@ void
 Application::validate() const
 {
     if (kernels.empty())
-        scsim_fatal("application '%s' has no kernels", name.c_str());
+        scsim_throw(WorkloadError, "application '%s' has no kernels", name.c_str());
     for (const auto &k : kernels)
         k.validate();
 }

@@ -49,6 +49,15 @@ KernelDesc makeFmaMicro(FmaLayout layout, int fmaPerThread = 4096,
 KernelDesc makeImbalanceMicro(double imbalance, int baseFma = 512,
                               int numBlocks = 16);
 
+/**
+ * Robustness-harness target: a small FMA kernel named "hang-micro".
+ * On its own it completes normally; with
+ * FaultInjector::armHang("hang-micro") the run loop is pinned alive
+ * after the work drains, so the forward-progress watchdog must
+ * contain it.  Used by the robustness tests and `--micro hang`.
+ */
+KernelDesc makeHangMicro(int fmaPerThread = 64, int numBlocks = 2);
+
 /** Number of bank-conflict calibration variants. */
 inline constexpr int kNumConflictMicros = 7;
 

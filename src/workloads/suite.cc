@@ -554,7 +554,7 @@ suiteApps(const std::string &suite, double scale)
         if (a.suite == suite)
             out.push_back(std::move(a));
     if (out.empty())
-        scsim_fatal("unknown suite '%s'", suite.c_str());
+        scsim_throw(WorkloadError, "unknown suite '%s'", suite.c_str());
     return out;
 }
 
@@ -596,7 +596,7 @@ findApp(const std::string &name, double scale)
     for (auto &a : standardSuite(scale))
         if (a.name == name)
             return a;
-    scsim_fatal("unknown application '%s'", name.c_str());
+    scsim_throw(WorkloadError, "unknown application '%s'", name.c_str());
 }
 
 } // namespace scsim

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * EXPECT_THROW_WITH: gtest's EXPECT_THROW plus a substring check on
+ * the exception message — the throwing counterpart of the message
+ * regex that EXPECT_EXIT carried before the library layer switched
+ * from scsim_fatal to exceptions (common/sim_error.hh).
+ */
+
+#ifndef SCSIM_TESTS_EXPECT_THROW_HH
+#define SCSIM_TESTS_EXPECT_THROW_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+
+#define EXPECT_THROW_WITH(stmt, ExType, substr)                         \
+    do {                                                                \
+        try {                                                           \
+            stmt;                                                       \
+            ADD_FAILURE() << "expected " #ExType " from: " #stmt;       \
+        } catch (const ExType &caught_) {                               \
+            EXPECT_NE(std::string(caught_.what()).find(substr),         \
+                      std::string::npos)                                \
+                << #ExType " message '" << caught_.what()               \
+                << "' lacks '" << substr << "'";                        \
+        }                                                               \
+    } while (0)
+
+#endif // SCSIM_TESTS_EXPECT_THROW_HH

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "config/gpu_config.hh"
+#include "expect_throw.hh"
 
 namespace scsim {
 namespace {
@@ -66,46 +67,43 @@ TEST(GpuConfig, SetParsesNumbersAndEnums)
     EXPECT_DOUBLE_EQ(c.l2SectorsPerCyclePerSm, 1.25);
 }
 
-TEST(GpuConfigDeath, SetRejectsUnknownKey)
+TEST(GpuConfigThrow, SetRejectsUnknownKey)
 {
     GpuConfig c;
-    EXPECT_EXIT(c.set("warpSpeed", "9"),
-                ::testing::ExitedWithCode(1), "unknown configuration");
+    EXPECT_THROW_WITH(c.set("warpSpeed", "9"), ConfigError,
+                      "unknown configuration");
 }
 
-TEST(GpuConfigDeath, SetRejectsGarbageValue)
+TEST(GpuConfigThrow, SetRejectsGarbageValue)
 {
     GpuConfig c;
-    EXPECT_EXIT(c.set("numSms", "many"),
-                ::testing::ExitedWithCode(1), "cannot parse");
-    EXPECT_EXIT(c.set("scheduler", "FIFO"),
-                ::testing::ExitedWithCode(1), "unknown scheduler");
-    EXPECT_EXIT(c.set("bankStealing", "maybe"),
-                ::testing::ExitedWithCode(1), "cannot parse bool");
+    EXPECT_THROW_WITH(c.set("numSms", "many"), ConfigError,
+                      "cannot parse");
+    EXPECT_THROW_WITH(c.set("scheduler", "FIFO"), ConfigError,
+                      "unknown scheduler");
+    EXPECT_THROW_WITH(c.set("bankStealing", "maybe"), ConfigError,
+                      "cannot parse bool");
 }
 
-TEST(GpuConfigDeath, ValidateCatchesIndivisibleBanks)
+TEST(GpuConfigThrow, ValidateCatchesIndivisibleBanks)
 {
     GpuConfig c;
     c.rfBanksPerSm = 6;   // not divisible by 4 sub-cores
-    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
-                "not divisible");
+    EXPECT_THROW_WITH(c.validate(), ConfigError, "not divisible");
 }
 
-TEST(GpuConfigDeath, ValidateCatchesBadHashTable)
+TEST(GpuConfigThrow, ValidateCatchesBadHashTable)
 {
     GpuConfig c;
     c.hashTableEntries = 8;
-    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
-                "hashTableEntries");
+    EXPECT_THROW_WITH(c.validate(), ConfigError, "hashTableEntries");
 }
 
-TEST(GpuConfigDeath, ValidateCatchesTinySchedulerTables)
+TEST(GpuConfigThrow, ValidateCatchesTinySchedulerTables)
 {
     GpuConfig c;
     c.maxWarpsPerScheduler = 8;   // 4 x 8 < 64
-    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
-                "cannot hold");
+    EXPECT_THROW_WITH(c.validate(), ConfigError, "cannot hold");
 }
 
 TEST(GpuConfig, LoadFileParsesCommentsAndWhitespace)
@@ -125,11 +123,11 @@ TEST(GpuConfig, LoadFileParsesCommentsAndWhitespace)
     std::remove(path.c_str());
 }
 
-TEST(GpuConfigDeath, LoadFileMissing)
+TEST(GpuConfigThrow, LoadFileMissing)
 {
     GpuConfig c;
-    EXPECT_EXIT(c.loadFile("/nonexistent/scsim.cfg"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_THROW_WITH(c.loadFile("/nonexistent/scsim.cfg"),
+                      ConfigError, "cannot open");
 }
 
 TEST(GpuConfig, PolicyNames)

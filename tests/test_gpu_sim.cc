@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_throw.hh"
 #include "gpu/gpu_sim.hh"
 #include "workloads/microbench.hh"
 #include "workloads/suite.hh"
@@ -193,24 +194,23 @@ TEST(GpuSim, StatsAccountingConsistency)
     EXPECT_EQ(perSchedTotal, s.instructions);
 }
 
-TEST(GpuSimDeath, MaxCyclesAborts)
+TEST(GpuSimThrow, MaxCyclesThrowsHangError)
 {
     GpuConfig cfg = smallVolta(1);
     cfg.maxCycles = 100;
     KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 4096, 8);
-    EXPECT_EXIT(simulate(cfg, k), ::testing::ExitedWithCode(1),
-                "exceeded maxCycles");
+    EXPECT_THROW_WITH(simulate(cfg, k), HangError,
+                      "exceeded maxCycles");
 }
 
-TEST(GpuSimDeath, OversizedBlockIsFatal)
+TEST(GpuSimThrow, OversizedBlockThrows)
 {
     GpuConfig cfg = smallVolta(1);
     KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 16, 1);
     k.regsPerThread = 256;
     k.warpsPerBlock = 16;
     k.shapeOfWarp.assign(16, 0);
-    EXPECT_EXIT(simulate(cfg, k), ::testing::ExitedWithCode(1),
-                "reg bytes");
+    EXPECT_THROW_WITH(simulate(cfg, k), WorkloadError, "reg bytes");
 }
 
 } // namespace

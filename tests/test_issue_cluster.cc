@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sm_core.hh"
+#include "expect_throw.hh"
 #include "gpu/gpu_sim.hh"
 
 namespace scsim {
@@ -77,8 +78,7 @@ TEST(SharedWarpPool, RequiresMonolithicSm)
 {
     GpuConfig cfg = GpuConfig::volta();
     cfg.sharedWarpPool = true;   // but subCores == 4
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                "monolithic");
+    EXPECT_THROW_WITH(cfg.validate(), ConfigError, "monolithic");
 }
 
 TEST(BankStealing, IssuesExtraWorkOnIdleBanks)

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_throw.hh"
 #include "trace/kernel.hh"
 #include "trace/trace_io.hh"
 #include "workloads/microbench.hh"
@@ -48,36 +49,32 @@ TEST(KernelDesc, RegBytesPerWarp)
     EXPECT_EQ(k.regBytesPerWarp(), 8u * 32u * 4u);
 }
 
-TEST(KernelDescDeath, ValidateCatchesMissingExit)
+TEST(KernelDescThrow, ValidateCatchesMissingExit)
 {
     KernelDesc k = tinyKernel();
     k.shapes[0].code.pop_back();
-    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
-                "must end in EXIT");
+    EXPECT_THROW_WITH(k.validate(), WorkloadError, "must end in EXIT");
 }
 
-TEST(KernelDescDeath, ValidateCatchesRegisterOverflow)
+TEST(KernelDescThrow, ValidateCatchesRegisterOverflow)
 {
     KernelDesc k = tinyKernel();
     k.regsPerThread = 2;
-    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
-                "out of window");
+    EXPECT_THROW_WITH(k.validate(), WorkloadError, "out of window");
 }
 
-TEST(KernelDescDeath, ValidateCatchesBadShapeIndex)
+TEST(KernelDescThrow, ValidateCatchesBadShapeIndex)
 {
     KernelDesc k = tinyKernel();
     k.shapeOfWarp[1] = 7;
-    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
-                "out of range");
+    EXPECT_THROW_WITH(k.validate(), WorkloadError, "out of range");
 }
 
-TEST(KernelDescDeath, ValidateCatchesShapeMapSizeMismatch)
+TEST(KernelDescThrow, ValidateCatchesShapeMapSizeMismatch)
 {
     KernelDesc k = tinyKernel();
     k.warpsPerBlock = 3;
-    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
-                "shapeOfWarp");
+    EXPECT_THROW_WITH(k.validate(), WorkloadError, "shapeOfWarp");
 }
 
 TEST(TraceIo, RoundTripPreservesEverything)
@@ -154,12 +151,11 @@ TEST(TraceIoDeath, RejectsTruncatedShape)
                 "EOF inside shape");
 }
 
-TEST(Application, ValidateFatalOnEmpty)
+TEST(Application, ValidateThrowsOnEmpty)
 {
     Application app;
     app.name = "empty";
-    EXPECT_EXIT(app.validate(), ::testing::ExitedWithCode(1),
-                "no kernels");
+    EXPECT_THROW_WITH(app.validate(), WorkloadError, "no kernels");
 }
 
 } // namespace

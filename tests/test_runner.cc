@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_throw.hh"
 #include "runner/design.hh"
 #include "runner/job_key.hh"
 #include "runner/report.hh"
@@ -284,14 +285,29 @@ TEST(SweepEngine, ByTagLookup)
     EXPECT_EQ(&r.stats("only"), &r.results[0].stats);
 }
 
-TEST(SweepEngine, DuplicateTagIsFatal)
+TEST(SweepEngine, DuplicateTagFailsBeforeAnyJobRuns)
 {
     SweepSpec spec;
     spec.add("dup", tinyCfg(), tinyApp("a"));
     spec.add("dup", tinyCfg(), tinyApp("b"));
     SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
-    EXPECT_EXIT(engine.run(spec), testing::ExitedWithCode(1),
-                "duplicate sweep tag");
+    // The message names the offending tag and app.
+    EXPECT_THROW_WITH(engine.run(spec), ConfigError,
+                      "duplicate sweep tag 'dup' (app 'b')");
+}
+
+TEST(SweepEngine, InvalidConfigReportsTagAndAppUpfront)
+{
+    SweepSpec spec;
+    spec.add("good", tinyCfg(), tinyApp("a"));
+    GpuConfig bad = tinyCfg();
+    bad.rfBanksPerSm = 6;   // not divisible by 4 sub-cores
+    spec.add("broken", bad, tinyApp("b"));
+    SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
+    EXPECT_THROW_WITH(engine.run(spec), ConfigError,
+                      "job 'broken' (app 'b')");
+    EXPECT_THROW_WITH(engine.run(spec), ConfigError,
+                      "no jobs were run");
 }
 
 TEST(ExpectedCost, OrdersByWork)

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sm_core.hh"
+#include "expect_throw.hh"
 #include "workloads/microbench.hh"
 
 namespace scsim {
@@ -104,8 +105,8 @@ TEST_F(SmCoreTest, CheckKernelFitsRejectsImpossibleBlocks)
 {
     KernelDesc k = makeFmaMicro(FmaLayout::Baseline, 8, 1);
     k.smemBytesPerBlock = 1024 * 1024;
-    EXPECT_EXIT(SmCore::checkKernelFits(cfg_, k),
-                ::testing::ExitedWithCode(1), "shared memory");
+    EXPECT_THROW_WITH(SmCore::checkKernelFits(cfg_, k), WorkloadError,
+                      "shared memory");
 }
 
 TEST_F(SmCoreTest, BlockHoldsResourcesUntilAllWarpsExit)

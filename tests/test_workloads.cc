@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_throw.hh"
 #include "workloads/microbench.hh"
 #include "workloads/suite.hh"
 
@@ -130,12 +131,12 @@ TEST(Suite, SubsetsResolve)
     EXPECT_EQ(findApp("pb-mriq", 0.5).suite, "parboil");
 }
 
-TEST(SuiteDeath, UnknownAppAndSuite)
+TEST(SuiteThrow, UnknownAppAndSuite)
 {
-    EXPECT_EXIT(findApp("pb-nope", 1.0), ::testing::ExitedWithCode(1),
-                "unknown application");
-    EXPECT_EXIT(suiteApps("spec2006", 1.0),
-                ::testing::ExitedWithCode(1), "unknown suite");
+    EXPECT_THROW_WITH(findApp("pb-nope", 1.0), WorkloadError,
+                      "unknown application");
+    EXPECT_THROW_WITH(suiteApps("spec2006", 1.0), WorkloadError,
+                      "unknown suite");
 }
 
 TEST(Suite, ScaleShrinksGrids)

@@ -12,12 +12,15 @@
  *                  [--jobs N] [--cache-dir DIR] [--out results.json]
  *                  [--csv results.csv] [--scale 0.5] [--sms 8]
  *                  [--set key=value] [--salt N] [--concurrent] [--quiet]
+ *                  [--fail-fast] [--max-failures N]
  *   scsim_cli list [--suite parboil]
  *   scsim_cli dump --app cg-lou --out cg-lou.sctrace [--scale 0.5]
  *   scsim_cli info [--set key=value ...]
  *
- * Exit code 0 on success; configuration or workload errors terminate
- * with a message on stderr (exit 1).
+ * Exit code 0 on success; configuration or workload errors print
+ * `fatal: ...` on stderr and exit 1.  A sweep contains per-job
+ * failures (the other jobs still run and the manifest records each
+ * job's status) but exits 1 if any job failed.
  */
 
 #include <cstdio>
@@ -58,7 +61,8 @@ parseArgs(int argc, char **argv)
         if (flag.rfind("--", 0) != 0)
             scsim_fatal("unexpected argument '%s'", flag.c_str());
         flag.erase(0, 2);
-        if (flag == "concurrent" || flag == "quiet") {
+        if (flag == "concurrent" || flag == "quiet"
+            || flag == "fail-fast") {
             args.options[flag] = "1";
             continue;
         }
@@ -128,6 +132,8 @@ workloadFor(const Args &args)
         else if (m.rfind("conflict:", 0) == 0)
             app.kernels.push_back(
                 makeConflictMicro(std::stoi(m.substr(9))));
+        else if (m == "hang")
+            app.kernels.push_back(makeHangMicro());
         else
             scsim_fatal("unknown micro '%s'", m.c_str());
         return app;
@@ -275,6 +281,10 @@ cmdSweep(const Args &args)
         it != args.options.end())
         opts.cacheDir = it->second;
     opts.progress = args.options.count("quiet") == 0;
+    opts.failFast = args.options.count("fail-fast") > 0;
+    if (auto it = args.options.find("max-failures");
+        it != args.options.end())
+        opts.maxFailures = std::stoull(it->second);
 
     SweepEngine engine(opts);
     SweepResult res = engine.run(spec);
@@ -285,6 +295,14 @@ cmdSweep(const Args &args)
         writeFile(it->second, csvManifest(spec, res));
 
     // Per-app speedup table over Baseline (Baseline column = cycles).
+    // Failed or skipped points print their status instead of a
+    // nonsense ratio and are left out of the mean.
+    auto resultFor = [&](const std::string &tag) -> const JobResult & {
+        for (std::size_t i = 0; i < res.tags.size(); ++i)
+            if (res.tags[i] == tag)
+                return res.results[i];
+        scsim_panic("sweep result missing tag '%s'", tag.c_str());
+    };
     std::printf("%-16s %12s", "app", "base-cycles");
     for (Design d : designs)
         if (d != Design::Baseline)
@@ -292,19 +310,29 @@ cmdSweep(const Args &args)
     std::printf("\n");
     std::vector<std::vector<double>> perDesign(designs.size());
     for (const AppSpec &app : apps) {
-        Cycle b = res.cycles(app.name + "|"
-                             + toString(Design::Baseline));
-        std::printf("%-16s %12llu", app.name.c_str(),
-                    static_cast<unsigned long long>(b));
+        const JobResult &base = resultFor(
+            app.name + "|" + toString(Design::Baseline));
+        if (base.ok())
+            std::printf("%-16s %12llu", app.name.c_str(),
+                        static_cast<unsigned long long>(
+                            base.stats.cycles));
+        else
+            std::printf("%-16s %12s", app.name.c_str(),
+                        toString(base.status));
         for (std::size_t i = 0; i < designs.size(); ++i) {
             if (designs[i] == Design::Baseline)
                 continue;
-            Cycle c = res.cycles(app.name + "|"
-                                 + toString(designs[i]));
-            double s = static_cast<double>(b)
-                / static_cast<double>(c);
-            perDesign[i].push_back(s);
-            std::printf(" %12.3f", s);
+            const JobResult &r = resultFor(
+                app.name + "|" + toString(designs[i]));
+            if (base.ok() && r.ok() && r.stats.cycles) {
+                double s = static_cast<double>(base.stats.cycles)
+                    / static_cast<double>(r.stats.cycles);
+                perDesign[i].push_back(s);
+                std::printf(" %12.3f", s);
+            } else {
+                std::printf(" %12s",
+                            r.ok() ? "-" : toString(r.status));
+            }
         }
         std::printf("\n");
     }
@@ -316,7 +344,7 @@ cmdSweep(const Args &args)
         std::printf("\n");
     }
     std::fprintf(stderr, "%s\n", summaryLine(res, opts.jobs).c_str());
-    return 0;
+    return res.allOk() ? 0 : 1;
 }
 
 int
@@ -378,17 +406,28 @@ cmdInfo(const Args &args)
 int
 main(int argc, char **argv)
 {
-    Args args = parseArgs(argc, argv);
-    if (args.command == "run")
-        return cmdRun(args);
-    if (args.command == "sweep")
-        return cmdSweep(args);
-    if (args.command == "list")
-        return cmdList(args);
-    if (args.command == "dump")
-        return cmdDump(args);
-    if (args.command == "info")
-        return cmdInfo(args);
-    scsim_fatal("unknown command '%s' (try run/sweep/list/dump/info)",
-                args.command.c_str());
+    // The library layer throws (see common/sim_error.hh); the CLI is
+    // the process boundary where that becomes an exit code.
+    try {
+        Args args = parseArgs(argc, argv);
+        if (args.command == "run")
+            return cmdRun(args);
+        if (args.command == "sweep")
+            return cmdSweep(args);
+        if (args.command == "list")
+            return cmdList(args);
+        if (args.command == "dump")
+            return cmdDump(args);
+        if (args.command == "info")
+            return cmdInfo(args);
+        scsim_fatal("unknown command '%s' (try run/sweep/list/dump/"
+                    "info)", args.command.c_str());
+    } catch (const HangError &e) {
+        std::fprintf(stderr, "fatal: %s\n%s", e.what(),
+                     e.diagnostic().c_str());
+        return 1;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }
