@@ -1,5 +1,7 @@
 #include "common/fault_inject.hh"
 
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 
 namespace scsim {
@@ -18,8 +20,11 @@ FaultInjector::reset()
     writeAttempts_ = writeFailFirst_ = writeFailLast_ = 0;
     readAttempts_ = readFailFirst_ = readFailLast_ = 0;
     hangToken_.clear();
+    crashToken_.clear();
+    crashSignal_ = 0;
     cacheFaultsArmed_.store(false, std::memory_order_relaxed);
     hangArmed_.store(false, std::memory_order_relaxed);
+    crashArmed_.store(false, std::memory_order_relaxed);
 }
 
 void
@@ -92,6 +97,66 @@ FaultInjector::hangArmedFor(const char *label) const
     std::lock_guard lock(mutex_);
     return label && !hangToken_.empty()
         && std::strstr(label, hangToken_.c_str()) != nullptr;
+}
+
+void
+FaultInjector::raiseSignalInKernel(std::string token, int sig)
+{
+    std::lock_guard lock(mutex_);
+    crashToken_ = std::move(token);
+    crashSignal_ = sig;
+    crashArmed_.store(!crashToken_.empty() && sig > 0,
+                      std::memory_order_relaxed);
+}
+
+int
+FaultInjector::crashSignalFor(const char *label) const
+{
+    if (!crashArmed_.load(std::memory_order_relaxed))
+        return 0;
+    std::lock_guard lock(mutex_);
+    if (!label || crashToken_.empty()
+        || std::strstr(label, crashToken_.c_str()) == nullptr)
+        return 0;
+    return crashSignal_;
+}
+
+bool
+FaultInjector::armCrashFromEnv(const char *value)
+{
+    if (!value || !*value)
+        return false;
+    std::string spec(value);
+    std::string token = spec;
+    int sig = SIGSEGV;
+    if (auto colon = spec.rfind(':'); colon != std::string::npos) {
+        token = spec.substr(0, colon);
+        std::string how = spec.substr(colon + 1);
+        if (how == "abort") {
+            sig = SIGABRT;
+        } else {
+            char *end = nullptr;
+            long n = std::strtol(how.c_str(), &end, 10);
+            if (!end || *end != '\0' || n <= 0)
+                return false;
+            sig = static_cast<int>(n);
+        }
+    }
+    if (token.empty())
+        return false;
+    raiseSignalInKernel(std::move(token), sig);
+    return true;
+}
+
+void
+FaultInjector::raiseNow(int sig)
+{
+    // A sanitizer's handler would report and exit(1), turning signal
+    // death into a clean-looking exit; the default disposition makes
+    // the kernel deliver the real thing.
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+    std::_Exit(128 + sig);
 }
 
 } // namespace scsim

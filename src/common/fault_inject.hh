@@ -10,7 +10,11 @@
  *    and then degrades from);
  *  - force a synthetic hang in any workload whose run-loop label
  *    contains an armed token (GpuSim's loop then never terminates on
- *    its own, so the forward-progress watchdog must fire).
+ *    its own, so the forward-progress watchdog must fire);
+ *  - kill the process with a real signal mid-kernel (after the first
+ *    simulated cycle of a matching run loop), so `sweep --isolate`
+ *    can prove crash containment against an actual SIGSEGV/SIGABRT
+ *    death rather than a thrown exception.
  *
  * Everything is disarmed by default and the disarmed checks are one
  * relaxed atomic load, so production sweeps pay nothing.  Tests arm
@@ -68,12 +72,38 @@ class FaultInjector
     /** True when a hang is armed and @p label contains the token. */
     bool hangArmedFor(const char *label) const;
 
+    // ---- synthetic crash ----------------------------------------------
+    /**
+     * Kill the process with @p sig mid-kernel in any simulation whose
+     * run-loop label contains @p token.  An empty token disarms.
+     */
+    void raiseSignalInKernel(std::string token, int sig);
+
+    /** The armed signal when @p label matches; 0 when disarmed. */
+    int crashSignalFor(const char *label) const;
+
+    /**
+     * Arm a crash from an `SCSIM_FAULT_CRASH`-style value:
+     * `<token>`, `<token>:abort`, or `<token>:<signum>` (the bare
+     * form means SIGSEGV).  False when @p value is null/empty/bad.
+     */
+    bool armCrashFromEnv(const char *value);
+
+    /**
+     * Die by @p sig right now: restore the default disposition first
+     * (defeating sanitizer handlers that would turn signal death into
+     * exit(1)), raise, and — should the signal somehow not be fatal —
+     * exit with the shell's 128+sig convention.
+     */
+    [[noreturn]] static void raiseNow(int sig);
+
   private:
     FaultInjector() = default;
 
     mutable std::mutex mutex_;
     std::atomic<bool> cacheFaultsArmed_{ false };
     std::atomic<bool> hangArmed_{ false };
+    std::atomic<bool> crashArmed_{ false };
 
     std::uint64_t writeAttempts_ = 0;
     std::uint64_t writeFailFirst_ = 0;   //!< 1-based; 0 = disarmed
@@ -82,6 +112,8 @@ class FaultInjector
     std::uint64_t readFailFirst_ = 0;
     std::uint64_t readFailLast_ = 0;
     std::string hangToken_;
+    std::string crashToken_;
+    int crashSignal_ = 0;
 };
 
 } // namespace scsim

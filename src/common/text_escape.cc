@@ -1,0 +1,121 @@
+#include "common/text_escape.hh"
+
+#include "common/logging.hh"
+
+namespace scsim {
+
+std::string
+escapeLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          default:   out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case 'n':  out += '\n'; break;
+          case 'r':  out += '\r'; break;
+          default:   out += s[i];
+        }
+    }
+    return out;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    std::string flat = escapeLine(s);
+    bool quote = false;
+    for (char c : flat)
+        if (c == ',' || c == '"') {
+            quote = true;
+            break;
+        }
+    if (!flat.empty() && (flat.front() == ' ' || flat.back() == ' '))
+        quote = true;
+    if (!quote)
+        return flat;
+    std::string out = "\"";
+    for (char c : flat) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+bool
+splitCsvRow(const std::string &row, std::vector<std::string> &out)
+{
+    out.clear();
+    std::string field;
+    bool inQuotes = false;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        char c = row[i];
+        if (inQuotes) {
+            if (c == '"') {
+                if (i + 1 < row.size() && row[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    inQuotes = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"' && field.empty()) {
+            inQuotes = true;
+        } else if (c == ',') {
+            out.push_back(std::move(field));
+            field.clear();
+        } else {
+            field += c;
+        }
+    }
+    if (inQuotes)
+        return false;
+    out.push_back(std::move(field));
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += detail::format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace scsim

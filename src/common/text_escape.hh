@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared escaping for the repo's line- and comma-oriented text
+ * formats.
+ *
+ * Three surfaces hold caller-controlled free text — result-cache
+ * entries (kernel names), sweep journals and wire records (error
+ * messages, tags), and CSV/JSON manifests (stderr tails, signal
+ * messages) — and all of them are framed by newlines or commas that
+ * the payload may itself contain.  Keeping one escaper here means a
+ * string survives any chain of these formats unchanged instead of
+ * each writer growing its own slightly-wrong variant.
+ *
+ *  - escapeLine/unescapeLine: backslash-escape '\n', '\r' and '\\'
+ *    so a multi-line value occupies exactly one line of a
+ *    line-oriented record.
+ *  - csvField/splitCsvRow: RFC-4180-style quoting (quote when the
+ *    value contains a comma or quote, double internal quotes) applied
+ *    *after* escapeLine, so rows stay one physical line and still
+ *    round-trip embedded newlines.
+ *  - jsonEscape: the manifest's JSON string escaper.
+ */
+
+#ifndef SCSIM_COMMON_TEXT_ESCAPE_HH
+#define SCSIM_COMMON_TEXT_ESCAPE_HH
+
+#include <string>
+#include <vector>
+
+namespace scsim {
+
+/** One-line form of @p s: '\\', '\n', '\r' become escape pairs. */
+std::string escapeLine(const std::string &s);
+
+/** Inverse of escapeLine (unknown escapes pass through verbatim). */
+std::string unescapeLine(const std::string &s);
+
+/**
+ * One CSV field holding @p s: newlines are backslash-escaped first
+ * (rows must stay one physical line), then the field is quoted iff it
+ * contains a comma, quote, or leading/trailing space, with internal
+ * quotes doubled.  Round-trip with splitCsvRow + unescapeLine.
+ */
+std::string csvField(const std::string &s);
+
+/**
+ * Split one CSV row (no trailing newline) produced by csvField-style
+ * writers into raw fields, undoing the quoting but not the backslash
+ * escapes.  Returns false on malformed quoting (unterminated quote).
+ */
+bool splitCsvRow(const std::string &row, std::vector<std::string> &out);
+
+/** JSON string-literal body for @p s (no surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace scsim
+
+#endif // SCSIM_COMMON_TEXT_ESCAPE_HH

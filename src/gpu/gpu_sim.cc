@@ -75,11 +75,17 @@ GpuSim::runLoop(Cycle now, const char *what)
     // the workload drains, so the watchdog path can be exercised
     // deterministically.
     const bool forcedHang = FaultInjector::instance().hangArmedFor(what);
+    // Test hook: an armed crash kills the process with a real signal
+    // after the first simulated cycle — mid-kernel, exactly what
+    // `sweep --isolate` must contain.
+    const int forcedCrash = FaultInjector::instance().crashSignalFor(what);
 
     while (blockSched_.pending() || anySmBusy() || forcedHang) {
         blockSched_.dispatch(now);
         for (auto &sm : sms_)
             sm->cycle(now);
+        if (forcedCrash)
+            FaultInjector::raiseNow(forcedCrash);
 
         Cycle next = now + 1;
         if (cfg_.enableIdleSkip) {

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Append-only sweep journal: the checkpoint behind `--resume`.
+ *
+ * One record per finished job (in completion order, not spec order),
+ * each an fsync'd append of a framed `scsim-jobres` wire record plus
+ * the job's spec index and tag.  The header pins the spec hash and
+ * job count, so a journal can never be replayed against a different
+ * sweep.  Reads are tolerant of a truncated or corrupt *tail* — the
+ * expected wreckage of a SIGKILL mid-append — by keeping every intact
+ * record before the damage and dropping the rest; any dropped job
+ * simply re-runs.
+ *
+ * Because every record round-trips to the byte and the engine reports
+ * results in spec order, a killed-and-resumed sweep writes a manifest
+ * byte-identical to an uninterrupted run at any worker count.
+ */
+
+#ifndef SCSIM_RUNNER_JOURNAL_HH
+#define SCSIM_RUNNER_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/job_result.hh"
+#include "runner/sweep_spec.hh"
+
+namespace scsim::runner {
+
+/** Spec identity a journal is pinned to: hash of every job's tag and
+ *  canonical text.  Any job edit, reorder, insertion or removal
+ *  changes it. */
+std::uint64_t sweepSpecHash(const SweepSpec &spec);
+
+/** One journal entry, as read back. */
+struct JournalRecord
+{
+    std::size_t index = 0;  //!< position in spec.jobs
+    std::string tag;
+    JobResult result;
+};
+
+/** Everything readJournal() recovered. */
+struct JournalContents
+{
+    std::uint64_t specHash = 0;
+    std::uint64_t jobCount = 0;
+    std::vector<JournalRecord> records;
+    std::uint64_t dropped = 0;  //!< damaged tail records discarded
+};
+
+/**
+ * Parse a journal file.  Throws CacheError when the file cannot be
+ * opened or its header is unusable; a damaged tail is recovered from
+ * (see @ref JournalContents::dropped).
+ */
+JournalContents readJournal(const std::string &path);
+
+/**
+ * Appender.  Construction writes (and fsyncs) the header when the
+ * file is empty or @p fresh asked for truncation; append() fsyncs
+ * every record, so anything this class returned from is on disk.
+ * All methods throw CacheError on I/O faults.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter(const std::string &path, std::uint64_t specHash,
+                  std::uint64_t jobCount, bool fresh);
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Durably append one finished job. */
+    void append(std::size_t index, const std::string &tag,
+                const JobResult &result);
+
+  private:
+    void writeAll(const std::string &text);
+
+    std::string path_;
+    int fd_ = -1;
+    std::mutex mutex_;
+};
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_JOURNAL_HH

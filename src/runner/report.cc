@@ -4,51 +4,13 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "common/text_escape.hh"
 #include "runner/job_key.hh"
 #include "runner/worker_pool.hh"
 
 namespace scsim::runner {
 
 namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += detail::format("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
-
-/**
- * CSV form of a free-text field (error messages): first line only,
- * quoted, internal quotes doubled.
- */
-std::string
-csvEscape(const std::string &s)
-{
-    std::string firstLine = s.substr(0, s.find('\n'));
-    std::string out = "\"";
-    for (char c : firstLine) {
-        if (c == '"')
-            out += "\"\"";
-        out += c;
-    }
-    out += '"';
-    return out;
-}
 
 std::string
 fmtU64(std::uint64_t v)
@@ -111,9 +73,10 @@ jsonManifest(const SweepSpec &spec, const SweepResult &res)
         out += "      \"key\": \"" + keyToHex(r.key) + "\",\n";
         out += detail::format("      \"status\": \"%s\",\n",
                               manifestStatus(r.status));
-        out += "      \"error\": \""
-            + jsonEscape(r.error.substr(0, r.error.find('\n')))
-            + "\",\n";
+        out += "      \"error\": \"" + jsonEscape(r.error) + "\",\n";
+        out += detail::format(
+            "      \"signal\": %d,\n      \"exitCode\": %d,\n",
+            r.termSignal, r.exitCode);
         out += detail::format(
             "      \"config\": {\"numSms\": %d, \"subCores\": %d, "
             "\"scheduler\": \"%s\", \"assign\": \"%s\", "
@@ -146,8 +109,8 @@ csvManifest(const SweepSpec &spec, const SweepResult &res)
 {
     scsim_assert(spec.jobs.size() == res.results.size(),
                  "manifest spec/result size mismatch");
-    std::string out = "tag,app,suite,key,status,error,numSms,subCores,"
-                      "scheduler,assign,salt,concurrent";
+    std::string out = "tag,app,suite,key,status,error,signal,exitCode,"
+                      "numSms,subCores,scheduler,assign,salt,concurrent";
     for (const auto &[name, member] : kCounters) {
         (void)member;
         out += ',';
@@ -158,11 +121,12 @@ csvManifest(const SweepSpec &spec, const SweepResult &res)
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const SimJob &job = spec.jobs[i];
         const JobResult &r = res.results[i];
-        out += job.tag + ',' + job.app.name + ',' + job.app.suite + ','
-            + keyToHex(r.key);
+        out += csvField(job.tag) + ',' + csvField(job.app.name) + ','
+            + csvField(job.app.suite) + ',' + keyToHex(r.key);
         out += ',';
         out += manifestStatus(r.status);
-        out += ',' + csvEscape(r.error);
+        out += ',' + csvField(r.error);
+        out += detail::format(",%d,%d", r.termSignal, r.exitCode);
         out += detail::format(",%d,%d,%s,%s,%s,%d", job.cfg.numSms,
                               job.cfg.subCores,
                               toString(job.cfg.scheduler),
@@ -200,6 +164,8 @@ summaryLine(const SweepResult &res, int jobs)
         res.results.size(), res.executed, res.cacheHits,
         res.wallMs / 1e3, resolveJobs(jobs),
         resolveJobs(jobs) == 1 ? "" : "s");
+    if (res.resumed)
+        line += detail::format(", %" PRIu64 " resumed", res.resumed);
     if (res.failed)
         line += detail::format(", %" PRIu64 " FAILED", res.failed);
     if (res.skipped)

@@ -4,12 +4,14 @@
  *
  * A manifest records one entry per job, in spec order, containing the
  * job identity (tag, app, content hash, config summary), the job's
- * status ("ok", "failed", "hang", "skipped") with its error message,
- * and the headline statistics.  Manifests deliberately exclude
- * anything execution-dependent — wall-clock, worker count, cache
- * hit/miss (a cached result reports "ok") — so the same sweep
- * produces byte-identical manifests at any `--jobs N` and whether or
- * not results came from the cache.  The one caveat: under
+ * status ("ok", "failed", "hang", "crashed", "skipped") with its full
+ * error message and crash detail (fatal signal / exit code), and the
+ * headline statistics.  Manifests deliberately exclude anything
+ * execution-dependent — wall-clock, worker count, spawn attempts,
+ * cache hit/miss (a cached result reports "ok") — so the same sweep
+ * produces byte-identical manifests at any `--jobs N`, whether or
+ * not results came from the cache, and whether the sweep ran through
+ * or was killed and resumed from a journal.  The one caveat: under
  * `--fail-fast`/`--max-failures` with multiple workers, *which* jobs
  * end up "skipped" depends on scheduling — bounded-abort is
  * inherently an execution-order feature.
@@ -25,8 +27,10 @@
 
 namespace scsim::runner {
 
-/** Manifest schema version (bump on field changes). */
-inline constexpr int kManifestVersion = 2;
+/** Manifest schema version (bump on field changes).
+ *  v3: full (escaped) error text instead of its first line, plus
+ *  `signal` and `exitCode` crash-detail columns. */
+inline constexpr int kManifestVersion = 3;
 
 /** The sweep manifest as a JSON document. */
 std::string jsonManifest(const SweepSpec &spec, const SweepResult &res);

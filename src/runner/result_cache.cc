@@ -13,237 +13,6 @@
 
 namespace scsim::runner {
 
-namespace {
-
-constexpr const char *kMagic = "scsim-result";
-
-void
-putU64(std::string &out, const char *key, std::uint64_t v)
-{
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", key, v);
-    out += buf;
-}
-
-/**
- * Kernel names are caller-controlled free text that lands in a
- * line-oriented format: escape the line structure (and the escape
- * character itself) so a name containing '\n' round-trips instead of
- * splitting the record.
- */
-std::string
-escapeName(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          default:   out += c;
-        }
-    }
-    return out;
-}
-
-std::string
-unescapeName(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        if (s[i] != '\\' || i + 1 == s.size()) {
-            out += s[i];
-            continue;
-        }
-        switch (s[++i]) {
-          case 'n':  out += '\n'; break;
-          case 'r':  out += '\r'; break;
-          default:   out += s[i];
-        }
-    }
-    return out;
-}
-
-/** The entry payload: every line after the checksum header. */
-std::string
-serializePayload(const SimStats &stats)
-{
-    std::string out;
-    putU64(out, "cycles", stats.cycles);
-    putU64(out, "instructions", stats.instructions);
-    putU64(out, "threadInstructions", stats.threadInstructions);
-    putU64(out, "schedCycles", stats.schedCycles);
-    putU64(out, "issueSlotsUsed", stats.issueSlotsUsed);
-    putU64(out, "stallNoWarp", stats.stallNoWarp);
-    putU64(out, "stallScoreboard", stats.stallScoreboard);
-    putU64(out, "stallNoCu", stats.stallNoCu);
-    putU64(out, "cuTurnaroundSum", stats.cuTurnaroundSum);
-    putU64(out, "cuDispatches", stats.cuDispatches);
-    putU64(out, "rfReads", stats.rfReads);
-    putU64(out, "rfWrites", stats.rfWrites);
-    putU64(out, "rfBankConflictCycles", stats.rfBankConflictCycles);
-    putU64(out, "collectorFullStalls", stats.collectorFullStalls);
-    putU64(out, "execStructuralStalls", stats.execStructuralStalls);
-    putU64(out, "l1Accesses", stats.l1Accesses);
-    putU64(out, "l1Misses", stats.l1Misses);
-    putU64(out, "l2Accesses", stats.l2Accesses);
-    putU64(out, "l2Misses", stats.l2Misses);
-    putU64(out, "blocksCompleted", stats.blocksCompleted);
-    putU64(out, "warpsCompleted", stats.warpsCompleted);
-    putU64(out, "assignSpills", stats.assignSpills);
-    putU64(out, "warpMigrations", stats.warpMigrations);
-
-    for (const auto &row : stats.issuePerScheduler) {
-        out += "issueRow";
-        for (std::uint64_t v : row) {
-            char buf[32];
-            std::snprintf(buf, sizeof buf, " %" PRIu64, v);
-            out += buf;
-        }
-        out += '\n';
-    }
-    for (const auto &[name, span] : stats.kernelSpans) {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%" PRIu64, span);
-        out += "kernelSpan ";
-        out += buf;
-        out += ' ';
-        out += escapeName(name);  // to end of line; may contain spaces
-        out += '\n';
-    }
-    {
-        putU64(out, "rfTraceWindow", stats.rfReadTrace.window());
-        out += "rfTraceSamples";
-        for (double s : stats.rfReadTrace.samples()) {
-            char buf[64];
-            std::snprintf(buf, sizeof buf, " %.17g", s);
-            out += buf;
-        }
-        out += '\n';
-    }
-    return out;
-}
-
-StatsDecode
-parsePayload(const std::string &payload, SimStats &out)
-{
-    std::istringstream in(payload);
-    SimStats s;
-    std::string line;
-    while (std::getline(in, line)) {
-        std::istringstream ls(line);
-        std::string key;
-        if (!(ls >> key))
-            continue;
-
-        auto u64 = [&](std::uint64_t &field) -> bool {
-            return static_cast<bool>(ls >> field);
-        };
-
-        if (key == "cycles") { if (!u64(s.cycles)) return StatsDecode::Corrupt; }
-        else if (key == "instructions") { if (!u64(s.instructions)) return StatsDecode::Corrupt; }
-        else if (key == "threadInstructions") { if (!u64(s.threadInstructions)) return StatsDecode::Corrupt; }
-        else if (key == "schedCycles") { if (!u64(s.schedCycles)) return StatsDecode::Corrupt; }
-        else if (key == "issueSlotsUsed") { if (!u64(s.issueSlotsUsed)) return StatsDecode::Corrupt; }
-        else if (key == "stallNoWarp") { if (!u64(s.stallNoWarp)) return StatsDecode::Corrupt; }
-        else if (key == "stallScoreboard") { if (!u64(s.stallScoreboard)) return StatsDecode::Corrupt; }
-        else if (key == "stallNoCu") { if (!u64(s.stallNoCu)) return StatsDecode::Corrupt; }
-        else if (key == "cuTurnaroundSum") { if (!u64(s.cuTurnaroundSum)) return StatsDecode::Corrupt; }
-        else if (key == "cuDispatches") { if (!u64(s.cuDispatches)) return StatsDecode::Corrupt; }
-        else if (key == "rfReads") { if (!u64(s.rfReads)) return StatsDecode::Corrupt; }
-        else if (key == "rfWrites") { if (!u64(s.rfWrites)) return StatsDecode::Corrupt; }
-        else if (key == "rfBankConflictCycles") { if (!u64(s.rfBankConflictCycles)) return StatsDecode::Corrupt; }
-        else if (key == "collectorFullStalls") { if (!u64(s.collectorFullStalls)) return StatsDecode::Corrupt; }
-        else if (key == "execStructuralStalls") { if (!u64(s.execStructuralStalls)) return StatsDecode::Corrupt; }
-        else if (key == "l1Accesses") { if (!u64(s.l1Accesses)) return StatsDecode::Corrupt; }
-        else if (key == "l1Misses") { if (!u64(s.l1Misses)) return StatsDecode::Corrupt; }
-        else if (key == "l2Accesses") { if (!u64(s.l2Accesses)) return StatsDecode::Corrupt; }
-        else if (key == "l2Misses") { if (!u64(s.l2Misses)) return StatsDecode::Corrupt; }
-        else if (key == "blocksCompleted") { if (!u64(s.blocksCompleted)) return StatsDecode::Corrupt; }
-        else if (key == "warpsCompleted") { if (!u64(s.warpsCompleted)) return StatsDecode::Corrupt; }
-        else if (key == "assignSpills") { if (!u64(s.assignSpills)) return StatsDecode::Corrupt; }
-        else if (key == "warpMigrations") { if (!u64(s.warpMigrations)) return StatsDecode::Corrupt; }
-        else if (key == "issueRow") {
-            std::vector<std::uint64_t> row;
-            std::uint64_t v;
-            while (ls >> v)
-                row.push_back(v);
-            s.issuePerScheduler.push_back(std::move(row));
-        } else if (key == "kernelSpan") {
-            std::uint64_t span;
-            if (!(ls >> span))
-                return StatsDecode::Corrupt;
-            std::string name;
-            std::getline(ls, name);
-            if (!name.empty() && name.front() == ' ')
-                name.erase(0, 1);
-            s.kernelSpans.emplace_back(unescapeName(name), span);
-        } else if (key == "rfTraceWindow") {
-            std::uint64_t w;
-            if (!u64(w))
-                return StatsDecode::Corrupt;
-            s.rfReadTrace = TimeSeries{ w };
-        } else if (key == "rfTraceSamples") {
-            std::vector<double> samples;
-            double v;
-            while (ls >> v)
-                samples.push_back(v);
-            s.rfReadTrace.restoreSamples(std::move(samples));
-        }
-        // Unknown keys are skipped: forward-compatible within a
-        // format version bump.
-    }
-    out = std::move(s);
-    return StatsDecode::Ok;
-}
-
-} // namespace
-
-std::string
-serializeStats(const SimStats &stats)
-{
-    std::string payload = serializePayload(stats);
-    char header[96];
-    std::snprintf(header, sizeof header, "%s v%u fnv1a %s\n", kMagic,
-                  kResultFormatVersion,
-                  keyToHex(hashString(payload)).c_str());
-    return header + payload;
-}
-
-StatsDecode
-decodeStats(const std::string &text, SimStats &out)
-{
-    auto nl = text.find('\n');
-    if (nl == std::string::npos)
-        return StatsDecode::Corrupt;
-    std::istringstream hs(text.substr(0, nl));
-    std::string magic, version, algo, sum;
-    if (!(hs >> magic >> version) || magic != kMagic)
-        return StatsDecode::Corrupt;
-    {
-        char expect[16];
-        std::snprintf(expect, sizeof expect, "v%u", kResultFormatVersion);
-        if (version != expect)
-            return StatsDecode::VersionSkew;
-    }
-    if (!(hs >> algo >> sum) || algo != "fnv1a")
-        return StatsDecode::Corrupt;
-
-    std::string payload = text.substr(nl + 1);
-    if (keyToHex(hashString(payload)) != sum)
-        return StatsDecode::Corrupt;
-
-    return parsePayload(payload, out);
-}
-
-bool
-deserializeStats(const std::string &text, SimStats &out)
-{
-    return decodeStats(text, out) == StatsDecode::Ok;
-}
-
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
 {
     if (dir_.empty())

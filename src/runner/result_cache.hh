@@ -18,7 +18,9 @@
  * CacheError, which the sweep engine retries with bounded backoff.
  *
  * Layout: `<dir>/<16-hex-digit key>.stats`, one file per result, in a
- * line-oriented `key value` format (see serializeStats).
+ * line-oriented `key value` format (see serializeStats in
+ * runner/wire.hh, which owns the record framing shared with the
+ * subprocess IPC and the sweep resume journal).
  */
 
 #ifndef SCSIM_RUNNER_RESULT_CACHE_HH
@@ -29,31 +31,10 @@
 #include <string>
 #include <unordered_map>
 
+#include "runner/wire.hh"
 #include "stats/stats.hh"
 
 namespace scsim::runner {
-
-/**
- * Deterministic text form of a SimStats record: a header line with
- * format version and payload checksum, then `key value` lines.
- * Kernel names are backslash-escaped so embedded newlines cannot
- * corrupt the line-oriented format.
- */
-std::string serializeStats(const SimStats &stats);
-
-/** Outcome of decoding a cache entry's text. */
-enum class StatsDecode
-{
-    Ok,           //!< checksum verified, payload parsed
-    VersionSkew,  //!< well-formed but another format version
-    Corrupt,      //!< bad header, checksum mismatch, or parse failure
-};
-
-/** Decode @p text into @p out; see StatsDecode. */
-StatsDecode decodeStats(const std::string &text, SimStats &out);
-
-/** Convenience: decodeStats(...) == Ok. */
-bool deserializeStats(const std::string &text, SimStats &out);
 
 class ResultCache
 {

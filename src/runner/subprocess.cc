@@ -1,0 +1,259 @@
+#include "runner/subprocess.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace scsim::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Grace between SIGTERM and SIGKILL when the deadline fires. */
+constexpr auto kKillGrace = std::chrono::seconds(2);
+
+/**
+ * Writing to a child that died mid-record must surface as EPIPE from
+ * write(), not a process-killing SIGPIPE.  Done once, process-wide;
+ * nothing in the simulator wants the default disposition.
+ */
+void
+ignoreSigpipe()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+void
+setNonblocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+struct Pipe
+{
+    int fds[2] = { -1, -1 };
+
+    ~Pipe()
+    {
+        closeFd(fds[0]);
+        closeFd(fds[1]);
+    }
+
+    void
+    open()
+    {
+        if (pipe2(fds, O_CLOEXEC) != 0)
+            scsim_throw(SimError, "pipe2 failed: %s",
+                        std::strerror(errno));
+    }
+
+    int &rd() { return fds[0]; }
+    int &wr() { return fds[1]; }
+};
+
+void
+appendTail(std::string &tail, const char *buf, std::size_t n,
+           std::size_t cap)
+{
+    tail.append(buf, n);
+    if (tail.size() > cap)
+        tail.erase(0, tail.size() - cap);
+}
+
+} // namespace
+
+std::string
+currentExecutablePath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        scsim_throw(SimError, "cannot resolve /proc/self/exe: %s",
+                    std::strerror(errno));
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+SubprocessResult
+runSubprocess(const std::vector<std::string> &argv,
+              const std::string &input, double timeoutSec,
+              std::size_t tailBytes)
+{
+    if (argv.empty())
+        scsim_throw(SimError, "runSubprocess needs a non-empty argv");
+    ignoreSigpipe();
+
+    Pipe in, out, err;
+    in.open();
+    out.open();
+    err.open();
+
+    // Everything the child needs, prepared before fork: no allocation
+    // may happen between fork and exec.
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        scsim_throw(SimError, "fork failed: %s", std::strerror(errno));
+
+    if (pid == 0) {
+        // Child: wire the pipes to stdio and exec.  Only
+        // async-signal-safe calls from here on.
+        if (::dup2(in.rd(), STDIN_FILENO) < 0
+            || ::dup2(out.wr(), STDOUT_FILENO) < 0
+            || ::dup2(err.wr(), STDERR_FILENO) < 0)
+            ::_exit(127);
+        ::execv(cargv[0], cargv.data());
+        ::_exit(127);  // exec failed; 127 is the shell convention
+    }
+
+    // Parent: close the child's ends, then pump all three pipes from
+    // one poll loop so a chatty child can never deadlock against a
+    // large stdin payload.
+    closeFd(in.rd());
+    closeFd(out.wr());
+    closeFd(err.wr());
+    setNonblocking(in.wr());
+    setNonblocking(out.rd());
+    setNonblocking(err.rd());
+
+    SubprocessResult res;
+    std::size_t written = 0;
+    bool sentTerm = false, sentKill = false;
+    bool reaped = false;
+    int status = 0;
+
+    auto start = Clock::now();
+    auto deadline = timeoutSec > 0
+        ? start + std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(timeoutSec))
+        : Clock::time_point::max();
+
+    auto escalate = [&] {
+        auto now = Clock::now();
+        if (!sentTerm && now >= deadline) {
+            res.timedOut = true;
+            ::kill(pid, SIGTERM);
+            sentTerm = true;
+        } else if (sentTerm && !sentKill && now >= deadline + kKillGrace) {
+            ::kill(pid, SIGKILL);
+            sentKill = true;
+        }
+    };
+
+    while (in.wr() >= 0 || out.rd() >= 0 || err.rd() >= 0) {
+        struct pollfd fds[3];
+        int nfds = 0;
+        int inSlot = -1, outSlot = -1, errSlot = -1;
+        if (in.wr() >= 0) {
+            inSlot = nfds;
+            fds[nfds++] = { in.wr(), POLLOUT, 0 };
+        }
+        if (out.rd() >= 0) {
+            outSlot = nfds;
+            fds[nfds++] = { out.rd(), POLLIN, 0 };
+        }
+        if (err.rd() >= 0) {
+            errSlot = nfds;
+            fds[nfds++] = { err.rd(), POLLIN, 0 };
+        }
+
+        int rc = ::poll(fds, static_cast<nfds_t>(nfds), 100);
+        if (rc < 0 && errno != EINTR)
+            break;
+        escalate();
+        if (!reaped && ::waitpid(pid, &status, WNOHANG) == pid)
+            reaped = true;
+        if (rc <= 0) {
+            // The child is dead and a whole poll interval passed with
+            // nothing to read: any pipe still open is held by an
+            // orphaned grandchild (`sh -c` leaves one when killed),
+            // and nobody is waiting for its output.
+            if (reaped)
+                break;
+            continue;
+        }
+
+        if (inSlot >= 0 && (fds[inSlot].revents & (POLLOUT | POLLERR))) {
+            if (written >= input.size()) {
+                closeFd(in.wr());  // EOF tells the child "record done"
+            } else {
+                ssize_t n = ::write(in.wr(), input.data() + written,
+                                    input.size() - written);
+                if (n > 0)
+                    written += static_cast<std::size_t>(n);
+                else if (n < 0 && errno != EAGAIN && errno != EINTR)
+                    closeFd(in.wr());  // EPIPE: child is gone
+                if (written >= input.size())
+                    closeFd(in.wr());
+            }
+        }
+
+        char buf[8192];
+        if (outSlot >= 0
+            && (fds[outSlot].revents & (POLLIN | POLLHUP | POLLERR))) {
+            ssize_t n = ::read(out.rd(), buf, sizeof buf);
+            if (n > 0)
+                res.stdoutText.append(buf, static_cast<std::size_t>(n));
+            else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR))
+                closeFd(out.rd());
+        }
+        if (errSlot >= 0
+            && (fds[errSlot].revents & (POLLIN | POLLHUP | POLLERR))) {
+            ssize_t n = ::read(err.rd(), buf, sizeof buf);
+            if (n > 0)
+                appendTail(res.stderrTail, buf,
+                           static_cast<std::size_t>(n), tailBytes);
+            else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR))
+                closeFd(err.rd());
+        }
+    }
+
+    // Pipes are done with; reap the child if the loop didn't already,
+    // still enforcing the deadline for one that holds no pipe but
+    // refuses to exit.
+    while (!reaped) {
+        pid_t w = ::waitpid(pid, &status, WNOHANG);
+        if (w == pid)
+            break;
+        if (w < 0 && errno != EINTR) {
+            status = 0;
+            break;
+        }
+        escalate();
+        ::poll(nullptr, 0, 20);
+    }
+
+    if (WIFEXITED(status))
+        res.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        res.termSignal = WTERMSIG(status);
+    return res;
+}
+
+} // namespace scsim::runner

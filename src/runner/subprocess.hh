@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Child-process execution with capture, timeout, and kill escalation.
+ *
+ * runSubprocess() forks/execs an argv, writes a byte string to the
+ * child's stdin, and drains stdout fully (the result record) and
+ * stderr as a bounded tail (crash forensics — a SIGSEGV banner or
+ * sanitizer report is at the *end* of stderr, so the tail is what
+ * matters).  A wall-clock deadline is enforced with SIGTERM, a short
+ * grace period, then SIGKILL; the child can never outlive its parent's
+ * patience.  The exit status is reported exactly as waitpid saw it:
+ * exit code when the child exited, the fatal signal when it was
+ * killed.
+ *
+ * This is the mechanism behind `scsim_cli sweep --isolate`: each job
+ * runs in its own address space, so a simulator bug that segfaults —
+ * or an injected crash (common/fault_inject.hh) — costs one job, not
+ * the campaign.
+ */
+
+#ifndef SCSIM_RUNNER_SUBPROCESS_HH
+#define SCSIM_RUNNER_SUBPROCESS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scsim::runner {
+
+/** What became of one child process. */
+struct SubprocessResult
+{
+    int exitCode = -1;       //!< WEXITSTATUS when exited; -1 otherwise
+    int termSignal = 0;      //!< WTERMSIG when signalled; 0 otherwise
+    bool timedOut = false;   //!< deadline fired (termSignal says how)
+    std::string stdoutText;  //!< complete stdout
+    std::string stderrTail;  //!< last @c tailBytes of stderr
+
+    bool exitedCleanly() const { return termSignal == 0 && exitCode == 0; }
+};
+
+/**
+ * Execute @p argv (argv[0] is the binary path), feed @p input to its
+ * stdin, and wait for exit or @p timeoutSec (0 = no deadline).
+ * Throws SimError only for parent-side setup faults (pipe/fork
+ * failure); every child-side outcome, including exec failure (exit
+ * 127), is reported in the result.
+ */
+SubprocessResult runSubprocess(const std::vector<std::string> &argv,
+                               const std::string &input,
+                               double timeoutSec,
+                               std::size_t tailBytes = 8192);
+
+/** Absolute path of the running executable (/proc/self/exe). */
+std::string currentExecutablePath();
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_SUBPROCESS_HH

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -9,6 +12,9 @@
 #include "common/logging.hh"
 #include "gpu/gpu_sim.hh"
 #include "runner/job_key.hh"
+#include "runner/journal.hh"
+#include "runner/subprocess.hh"
+#include "runner/wire.hh"
 #include "runner/worker_pool.hh"
 
 namespace scsim::runner {
@@ -16,6 +22,17 @@ namespace scsim::runner {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Thrown (and caught by the worker pool's catch-all) to count an
+ * isolated job's recorded failure toward failFast/maxFailures.
+ * Deliberately not a std::exception: the result is already recorded
+ * and reported by the time this is thrown, and no catch clause on the
+ * way out may mistake it for an unclassified error.
+ */
+struct IsolatedJobFailure
+{
+};
 
 double
 msSince(Clock::time_point start)
@@ -60,25 +77,6 @@ firstLine(const std::string &s)
 
 } // namespace
 
-const char *
-toString(JobStatus s)
-{
-    switch (s) {
-      case JobStatus::Skipped: return "skipped";
-      case JobStatus::Ok:      return "ok";
-      case JobStatus::Cached:  return "cached";
-      case JobStatus::Failed:  return "failed";
-      case JobStatus::Hang:    return "hang";
-    }
-    return "?";
-}
-
-const char *
-manifestStatus(JobStatus s)
-{
-    return s == JobStatus::Cached ? "ok" : toString(s);
-}
-
 const SimStats &
 SweepResult::stats(const std::string &tag) const
 {
@@ -97,6 +95,67 @@ SweepResult::cycles(const std::string &tag) const
 SweepEngine::SweepEngine(SweepOptions opts)
     : opts_(std::move(opts)), cache_(opts_.cacheDir)
 {
+}
+
+void
+SweepEngine::runIsolated(const SimJob &job, JobResult &r)
+{
+    const std::string exe = opts_.selfExe.empty()
+        ? currentExecutablePath()
+        : opts_.selfExe;
+    const std::string input = serializeJob(job);
+    const int attempts = std::max(1, opts_.crashAttempts);
+
+    for (int attempt = 1;; ++attempt) {
+        SubprocessResult sub = runSubprocess({ exe, "run-job" }, input,
+                                             opts_.jobTimeoutSec);
+        r.attempts = attempt;
+        if (sub.exitedCleanly()) {
+            JobResult decoded;
+            if (decodeJobResult(sub.stdoutText, decoded)
+                == WireDecode::Ok) {
+                decoded.key = r.key;  // parent-computed identity wins
+                decoded.cached = false;
+                decoded.attempts = attempt;
+                r = std::move(decoded);
+                return;
+            }
+            // A clean exit with garbage on stdout is a protocol
+            // breach; treat it exactly like a crash (retry, then
+            // record) so a half-written record cannot pass for ok.
+            r.error = "worker exited cleanly without a valid result "
+                      "record";
+        } else if (sub.timedOut) {
+            r.error = detail::format("worker timed out after %.1fs",
+                                     opts_.jobTimeoutSec);
+        } else if (sub.termSignal) {
+            r.error = detail::format("worker crashed: signal %d (%s)",
+                                     sub.termSignal,
+                                     strsignal(sub.termSignal));
+        } else {
+            r.error = detail::format(
+                "worker exited with code %d without a result",
+                sub.exitCode);
+        }
+        r.status = JobStatus::Crashed;
+        r.stats = SimStats{};
+        r.exitCode = sub.exitCode;
+        r.termSignal = sub.termSignal;
+        // Crash forensics go to the diagnostics stream, never into
+        // the recorded error: a stderr tail can contain addresses,
+        // and the recorded text must be identical across re-runs for
+        // manifests to stay byte-reproducible.
+        if (!sub.stderrTail.empty())
+            scsim_warn("job '%s' worker stderr tail:\n%s",
+                       job.tag.c_str(), sub.stderrTail.c_str());
+        if (attempt >= attempts)
+            return;
+        scsim_warn("job '%s' %s (attempt %d/%d), respawning",
+                   job.tag.c_str(), firstLine(r.error).c_str(),
+                   attempt, attempts);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1LL << attempt));
+    }
 }
 
 SweepResult
@@ -134,12 +193,75 @@ SweepEngine::run(const SweepSpec &spec)
     for (const SimJob &job : spec.jobs)
         out.tags.push_back(job.tag);
     out.results.resize(spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        out.results[i].key = jobKey(spec.jobs[i]);
+
+    const std::uint64_t specHash = sweepSpecHash(spec);
+
+    // Resume phase: adopt every intact journal record whose identity
+    // (spec hash, index, tag) still matches.  Adopted failures count
+    // like fresh ones; adopted jobs are never re-run.
+    std::vector<char> adopted(spec.jobs.size(), 0);
+    if (!opts_.resumePath.empty()) {
+        JournalContents j = readJournal(opts_.resumePath);
+        if (j.specHash != specHash
+            || j.jobCount != spec.jobs.size())
+            scsim_throw(ConfigError,
+                        "journal '%s' was written for a different "
+                        "sweep (spec %s with %" PRIu64 " jobs; this "
+                        "spec is %s with %zu jobs)",
+                        opts_.resumePath.c_str(),
+                        keyToHex(j.specHash).c_str(), j.jobCount,
+                        keyToHex(specHash).c_str(), spec.jobs.size());
+        for (JournalRecord &rec : j.records) {
+            if (rec.index >= spec.jobs.size()
+                || rec.tag != spec.jobs[rec.index].tag) {
+                scsim_warn("journal '%s': record for unknown job "
+                           "'%s' ignored", opts_.resumePath.c_str(),
+                           rec.tag.c_str());
+                continue;
+            }
+            if (!adopted[rec.index])
+                ++out.resumed;
+            adopted[rec.index] = 1;
+            out.results[rec.index] = std::move(rec.result);
+        }
+    }
+
+    // Journal writer.  Always started fresh and re-seeded below with
+    // the adopted records (readJournal above already holds the old
+    // contents): rewriting scrubs the half-written record a SIGKILL
+    // leaves at the tail, which appending would otherwise strand in
+    // the middle of the file where it truncates every later read.
+    std::unique_ptr<JournalWriter> journal;
+    if (!opts_.journalPath.empty())
+        journal = std::make_unique<JournalWriter>(
+            opts_.journalPath, specHash, spec.jobs.size(),
+            /*fresh=*/true);
+    auto journalAppend = [&](std::size_t i, const JobResult &r) {
+        if (!journal)
+            return;
+        try {
+            retryTransient(opts_.cacheAttempts, "journal append", [&] {
+                journal->append(i, spec.jobs[i].tag, r);
+            });
+        } catch (const CacheError &e) {
+            scsim_warn("journal append for '%s' gave up; a resume "
+                       "would re-run it: %s", spec.jobs[i].tag.c_str(),
+                       e.what());
+        }
+    };
+    if (journal)
+        for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+            if (adopted[i])
+                journalAppend(i, out.results[i]);
 
     std::FILE *stream = opts_.progressStream ? opts_.progressStream
                                              : stderr;
     std::mutex progressMutex;
     std::size_t done = 0;
-    auto report = [&](std::size_t idx, const JobResult &r) {
+    auto report = [&](std::size_t idx, const JobResult &r,
+                      const char *how = nullptr) {
         if (!opts_.progress)
             return;
         std::lock_guard lock(progressMutex);
@@ -151,24 +273,40 @@ SweepEngine::run(const SweepSpec &spec)
                 done, spec.jobs.size(), spec.jobs[idx].tag.c_str(),
                 static_cast<unsigned long long>(r.stats.cycles),
                 r.stats.ipc(),
-                r.cached
-                    ? "(cache)"
-                    : detail::format("(%.1fs)", r.wallMs / 1e3)
-                          .c_str());
+                how ? how
+                    : r.cached
+                          ? "(cache)"
+                          : detail::format("(%.1fs)", r.wallMs / 1e3)
+                                .c_str());
         else
-            std::fprintf(stream, "[%3zu/%zu] %-28s %s: %s\n", done,
+            std::fprintf(stream, "[%3zu/%zu] %-28s %s%s: %s\n", done,
                          spec.jobs.size(), spec.jobs[idx].tag.c_str(),
-                         toString(r.status),
+                         toString(r.status), how ? how : "",
                          firstLine(r.error).c_str());
         std::fflush(stream);
     };
+
+    // Adopted results are final: count and report them now.
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        if (!adopted[i])
+            continue;
+        const JobResult &r = out.results[i];
+        if (r.status == JobStatus::Cached)
+            ++out.cacheHits;
+        else
+            ++out.executed;
+        if (!r.ok() && r.status != JobStatus::Skipped)
+            ++out.failed;
+        report(i, r, r.ok() ? "(journal)" : " (journal)");
+    }
 
     // Phase 1: resolve cache hits and collect the misses.  A cache
     // read that keeps failing is a miss, not a sweep failure.
     std::vector<std::size_t> missIdx;
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        if (adopted[i])
+            continue;
         JobResult &r = out.results[i];
-        r.key = jobKey(spec.jobs[i]);
         bool hit = false;
         try {
             hit = retryTransient(opts_.cacheAttempts, "cache lookup",
@@ -184,6 +322,7 @@ SweepEngine::run(const SweepSpec &spec)
             r.status = JobStatus::Cached;
             r.cached = true;
             ++out.cacheHits;
+            journalAppend(i, r);
             report(i, r);
         } else {
             missIdx.push_back(i);
@@ -203,18 +342,58 @@ SweepEngine::run(const SweepSpec &spec)
             || (opts_.maxFailures && failures >= opts_.maxFailures);
     };
 
+    // Failures are classified, journaled and reported inside the
+    // worker (not after the pool drains) so that a sweep killed
+    // mid-flight has every finished job on disk; the rethrow only
+    // feeds the failFast/maxFailures accounting.
     std::vector<std::exception_ptr> errors =
         runOrdered(missIdx, opts_.jobs, [&](std::size_t i) {
             const SimJob &job = spec.jobs[i];
             JobResult &r = out.results[i];
             auto jobStart = Clock::now();
 
-            Application app = buildApp(job.app, job.salt);
-            GpuSim sim(job.cfg);
-            r.stats = job.concurrent ? sim.runConcurrent(app)
-                                     : sim.run(app);
-            r.wallMs = msSince(jobStart);
-            r.status = JobStatus::Ok;
+            try {
+                if (opts_.isolate) {
+                    runIsolated(job, r);
+                    r.wallMs = msSince(jobStart);
+                } else {
+                    Application app = buildApp(job.app, job.salt);
+                    GpuSim sim(job.cfg);
+                    r.stats = job.concurrent ? sim.runConcurrent(app)
+                                             : sim.run(app);
+                    r.wallMs = msSince(jobStart);
+                    r.status = JobStatus::Ok;
+                }
+            } catch (const HangError &e) {
+                r.stats = SimStats{};
+                r.status = JobStatus::Hang;
+                r.error = e.what();
+                r.wallMs = msSince(jobStart);
+                if (opts_.progress) {
+                    std::lock_guard lock(progressMutex);
+                    std::fprintf(stream, "%s", e.diagnostic().c_str());
+                    std::fflush(stream);
+                }
+                journalAppend(i, r);
+                report(i, r);
+                throw;
+            } catch (const std::exception &e) {
+                r.stats = SimStats{};
+                r.status = JobStatus::Failed;
+                r.error = e.what();
+                r.wallMs = msSince(jobStart);
+                journalAppend(i, r);
+                report(i, r);
+                throw;
+            }
+
+            if (!r.ok()) {
+                // Isolated worker reported a failure (or crashed);
+                // already fully recorded in r.
+                journalAppend(i, r);
+                report(i, r);
+                throw IsolatedJobFailure{};
+            }
 
             // A store that keeps failing loses only the disk entry;
             // the computed result stands.
@@ -225,33 +404,18 @@ SweepEngine::run(const SweepSpec &spec)
                 scsim_warn("cache store for '%s' gave up, result not "
                            "cached: %s", job.tag.c_str(), e.what());
             }
+            journalAppend(i, r);
             report(i, r);
         }, stop);
 
-    // Classify whatever escaped the workers.  The HangError
-    // diagnostic (per-sub-core issue and collector state) goes to the
-    // progress stream; the manifest keeps the one-line summary.
+    // Account for what the pool did.  Every claimed job was already
+    // classified, journaled and reported inside the worker.
     for (std::size_t k = 0; k < missIdx.size(); ++k) {
         std::size_t i = missIdx[k];
         JobResult &r = out.results[i];
         if (errors[k]) {
-            r.stats = SimStats{};
-            try {
-                std::rethrow_exception(errors[k]);
-            } catch (const HangError &e) {
-                r.status = JobStatus::Hang;
-                r.error = e.what();
-                if (opts_.progress) {
-                    std::fprintf(stream, "%s", e.diagnostic().c_str());
-                    std::fflush(stream);
-                }
-            } catch (const std::exception &e) {
-                r.status = JobStatus::Failed;
-                r.error = e.what();
-            }
             ++out.failed;
             ++out.executed;
-            report(i, r);
         } else if (r.status == JobStatus::Skipped) {
             r.error = "skipped: failure limit reached";
             ++out.skipped;

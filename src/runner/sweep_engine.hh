@@ -20,6 +20,15 @@
  * attempted after things start going wrong.  Transient cache I/O
  * faults are retried with bounded backoff and can degrade to a
  * miss / unsaved result, but never fail a job.
+ *
+ * Process isolation (`SweepOptions::isolate`): each job is serialized
+ * over a pipe to a `scsim_cli run-job` child and its result record
+ * read back, so a crash — SIGSEGV, abort, OOM kill — is contained to
+ * one job and recorded as JobStatus::Crashed with the fatal signal or
+ * exit code.  Checkpointing (`journalPath` / `resumePath`): finished
+ * jobs are durably appended to a journal, and a resumed sweep adopts
+ * them instead of re-running, producing a manifest byte-identical to
+ * an uninterrupted run.
  */
 
 #ifndef SCSIM_RUNNER_SWEEP_ENGINE_HH
@@ -29,46 +38,12 @@
 #include <string>
 #include <vector>
 
+#include "runner/job_result.hh"
 #include "runner/result_cache.hh"
 #include "runner/sweep_spec.hh"
 #include "stats/stats.hh"
 
 namespace scsim::runner {
-
-/** How one job ended. */
-enum class JobStatus
-{
-    Skipped,  //!< never claimed (failFast / maxFailures tripped)
-    Ok,       //!< simulated to completion
-    Cached,   //!< served from the result cache
-    Failed,   //!< threw (workload/config error at runtime)
-    Hang,     //!< forward-progress watchdog or cycle budget fired
-};
-
-/** Debug name: "skipped"/"ok"/"cached"/"failed"/"hang". */
-const char *toString(JobStatus s);
-
-/**
- * Manifest form of a status.  Cached collapses to "ok": manifests
- * exclude execution-dependent facts, and cache hits are exactly that.
- */
-const char *manifestStatus(JobStatus s);
-
-/** Outcome of one job, in spec order. */
-struct JobResult
-{
-    std::uint64_t key = 0;   //!< content hash (see jobKey)
-    SimStats stats;          //!< zeros unless status is Ok/Cached
-    JobStatus status = JobStatus::Skipped;
-    std::string error;       //!< what() of the failure; empty when ok
-    bool cached = false;     //!< served from the result cache
-    double wallMs = 0.0;     //!< simulation time; 0 when cached
-
-    bool ok() const
-    {
-        return status == JobStatus::Ok || status == JobStatus::Cached;
-    }
-};
 
 /** Merged outcome of a sweep; results are parallel to spec.jobs. */
 struct SweepResult
@@ -79,8 +54,9 @@ struct SweepResult
     double wallMs = 0.0;         //!< whole-sweep wall clock
     std::uint64_t cacheHits = 0;
     std::uint64_t executed = 0;  //!< claimed jobs, including failed
-    std::uint64_t failed = 0;    //!< Failed + Hang
+    std::uint64_t failed = 0;    //!< Failed + Hang + Crashed
     std::uint64_t skipped = 0;   //!< never claimed
+    std::uint64_t resumed = 0;   //!< adopted from a resume journal
 
     bool allOk() const { return failed == 0 && skipped == 0; }
 
@@ -108,6 +84,10 @@ class SweepEngine
     ResultCache &cache() { return cache_; }
 
   private:
+    /** Run @p job in a `run-job` child; fills @p r (never throws
+     *  for child-side outcomes — a crash becomes JobStatus::Crashed). */
+    void runIsolated(const SimJob &job, JobResult &r);
+
     SweepOptions opts_;
     ResultCache cache_;
 };

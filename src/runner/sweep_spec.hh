@@ -90,6 +90,43 @@ struct SweepOptions
      * never a failed job).  Backoff doubles between attempts.
      */
     int cacheAttempts = 3;
+
+    /**
+     * Run each job in its own `scsim_cli run-job` subprocess so a
+     * crash (or injected fault) costs one job, not the sweep.
+     */
+    bool isolate = false;
+
+    /**
+     * Binary to spawn for isolated jobs; empty = the running
+     * executable (/proc/self/exe).  Exists so tests can point the
+     * engine at the CLI from a test binary.
+     */
+    std::string selfExe;
+
+    /** Per-job wall-clock limit for isolated jobs; 0 = none. */
+    double jobTimeoutSec = 0.0;
+
+    /**
+     * Spawn attempts per isolated job before its crash is final.
+     * Retries cover flaky infrastructure (OOM kills, fork pressure);
+     * a deterministic crash just fails this many times quickly.
+     */
+    int crashAttempts = 3;
+
+    /**
+     * Append every finished job to this journal (see runner/journal.hh)
+     * so an interrupted sweep can resume.  Empty = no journal.
+     */
+    std::string journalPath;
+
+    /**
+     * Resume from this journal: jobs it holds are adopted instead of
+     * re-run.  Usually the same file as @ref journalPath, which is
+     * then rewritten complete (adopted records re-seeded, any damaged
+     * tail scrubbed).  Empty = fresh sweep.
+     */
+    std::string resumePath;
 };
 
 } // namespace scsim::runner

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Versioned, checksummed wire records for the sweep subsystem.
+ *
+ * One framing convention — a header line `<magic> v<version> fnv1a
+ * <16-hex checksum>` followed by a line-oriented payload — carries
+ * three record kinds:
+ *
+ *  - `scsim-result`: a SimStats record.  This is the result cache's
+ *    on-disk entry format (byte-compatible with pre-wire caches) and
+ *    the stats section of the two records below.
+ *  - `scsim-job`: a complete SimJob (tag, every config field, every
+ *    workload-spec field, salt, mode), sent on stdin to an isolated
+ *    `scsim_cli run-job` worker.
+ *  - `scsim-jobres`: a complete JobResult (status, error, crash
+ *    detail, stats), returned on the worker's stdout and appended to
+ *    the sweep resume journal.
+ *
+ * Every record is round-trippable to the byte: serialize(parse(x))
+ * == x, which is what makes a resumed sweep's manifest identical to
+ * an uninterrupted run's.  A checksum or parse failure decodes as
+ * Corrupt; a well-formed record of another version as VersionSkew —
+ * callers decide whether that means quarantine (cache), re-run
+ * (journal), or a crashed worker (IPC).
+ */
+
+#ifndef SCSIM_RUNNER_WIRE_HH
+#define SCSIM_RUNNER_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runner/job_result.hh"
+#include "runner/sweep_spec.hh"
+#include "stats/stats.hh"
+
+namespace scsim::runner {
+
+/** Outcome of decoding a framed wire record. */
+enum class WireDecode
+{
+    Ok,           //!< checksum verified, payload parsed
+    VersionSkew,  //!< well-formed but another format version
+    Corrupt,      //!< bad header, checksum mismatch, or parse failure
+};
+
+/** Historical name from the result cache; same three outcomes. */
+using StatsDecode = WireDecode;
+
+/** Version of the job / job-result wire records (IPC + journal). */
+inline constexpr std::uint32_t kJobWireVersion = 1;
+
+/** `<magic> v<version> fnv1a <checksum>\n` + payload. */
+std::string frameRecord(const char *magic, std::uint32_t version,
+                        const std::string &payload);
+
+/**
+ * Undo frameRecord: verify magic, version and checksum, leaving the
+ * payload in @p payload (untouched unless Ok is returned).
+ */
+WireDecode unframeRecord(const char *magic, std::uint32_t version,
+                         const std::string &text, std::string &payload);
+
+// ---- SimStats records (the result-cache entry format) -----------------
+
+/**
+ * Deterministic text form of a SimStats record: a header line with
+ * format version and payload checksum, then `key value` lines.
+ * Kernel names are backslash-escaped so embedded newlines cannot
+ * corrupt the line-oriented format.
+ */
+std::string serializeStats(const SimStats &stats);
+
+/** Decode @p text into @p out; see WireDecode. */
+StatsDecode decodeStats(const std::string &text, SimStats &out);
+
+/** Convenience: decodeStats(...) == Ok. */
+bool deserializeStats(const std::string &text, SimStats &out);
+
+// ---- SimJob records (parent -> isolated worker) -----------------------
+
+/** Framed record holding everything a worker needs to run @p job. */
+std::string serializeJob(const SimJob &job);
+
+/** Decode a serializeJob record.  May throw ConfigError when a
+ *  config key/value pair inside an otherwise valid record is
+ *  rejected by GpuConfig::set (version-skewed peers). */
+WireDecode parseJob(const std::string &text, SimJob &out);
+
+// ---- JobResult records (worker -> parent, and the journal) ------------
+
+/** Framed record holding @p r, including its full stats. */
+std::string serializeJobResult(const JobResult &r);
+
+/** Decode a serializeJobResult record into @p out. */
+WireDecode decodeJobResult(const std::string &text, JobResult &out);
+
+} // namespace scsim::runner
+
+#endif // SCSIM_RUNNER_WIRE_HH

@@ -101,6 +101,20 @@ makeHangMicro(int fmaPerThread, int numBlocks)
 }
 
 KernelDesc
+makeCrashMicro(int fmaPerThread, int numBlocks)
+{
+    KernelDesc k;
+    k.name = "crash-micro";
+    k.numBlocks = numBlocks;
+    k.warpsPerBlock = 4;
+    k.regsPerThread = 8;
+    k.shapes.push_back(fmaComputeShape(fmaPerThread));
+    k.shapeOfWarp.assign(4, 0);
+    k.validate();
+    return k;
+}
+
+KernelDesc
 makeImbalanceMicro(double imbalance, int baseFma, int numBlocks)
 {
     scsim_assert(imbalance >= 1.0, "imbalance factor must be >= 1");

@@ -58,6 +58,16 @@ KernelDesc makeImbalanceMicro(double imbalance, int baseFma = 512,
  */
 KernelDesc makeHangMicro(int fmaPerThread = 64, int numBlocks = 2);
 
+/**
+ * Robustness-harness target: a small FMA kernel named "crash-micro".
+ * On its own it completes normally; with
+ * FaultInjector::raiseSignalInKernel("crash-micro", sig) the process
+ * dies by that signal after its first simulated cycle, so
+ * `sweep --isolate` can prove crash containment.  Used by
+ * `--micro crash` / `--micro crash:abort`.
+ */
+KernelDesc makeCrashMicro(int fmaPerThread = 64, int numBlocks = 2);
+
 /** Number of bank-conflict calibration variants. */
 inline constexpr int kNumConflictMicros = 7;
 

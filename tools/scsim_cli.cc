@@ -7,12 +7,18 @@
  *                  [--config file.cfg] [--concurrent] [--salt N]
  *   scsim_cli run  --trace app.sctrace [...]
  *   scsim_cli run  --micro fma-unbalanced | imbalance:8 | conflict:3
+ *                  | hang | crash | crash:abort
  *   scsim_cli sweep [--suite tpch-c | --apps a,b | --subset sensitive]
  *                  [--designs RBA,SRR,ShuffleRBA | --designs all]
  *                  [--jobs N] [--cache-dir DIR] [--out results.json]
  *                  [--csv results.csv] [--scale 0.5] [--sms 8]
  *                  [--set key=value] [--salt N] [--concurrent] [--quiet]
  *                  [--fail-fast] [--max-failures N]
+ *                  [--isolate] [--timeout SECONDS] [--retries N]
+ *                  [--journal FILE] [--resume FILE]
+ *   scsim_cli run-job            (internal: one isolated sweep job;
+ *                  reads an scsim-job record on stdin, writes an
+ *                  scsim-jobres record on stdout)
  *   scsim_cli list [--suite parboil]
  *   scsim_cli dump --app cg-lou --out cg-lou.sctrace [--scale 0.5]
  *   scsim_cli info [--set key=value ...]
@@ -21,19 +27,35 @@
  * `fatal: ...` on stderr and exit 1.  A sweep contains per-job
  * failures (the other jobs still run and the manifest records each
  * job's status) but exits 1 if any job failed.
+ *
+ * `--isolate` runs each job in its own `run-job` subprocess so a
+ * crashing job is recorded ("crashed", with its signal) instead of
+ * killing the sweep; `--journal`/`--resume` checkpoint finished jobs
+ * so an interrupted sweep continues where it stopped.  The
+ * SCSIM_FAULT_CRASH environment variable (`<token>[:abort|:<sig>]`)
+ * arms a deterministic mid-kernel crash in `run-job` workers — test
+ * machinery for the containment path.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <csignal>
 #include <cstring>
+#include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "gpu/gpu_sim.hh"
 #include "runner/design.hh"
+#include "runner/job_key.hh"
 #include "runner/report.hh"
 #include "runner/sweep_engine.hh"
+#include "runner/wire.hh"
 #include "trace/trace_io.hh"
 #include "workloads/microbench.hh"
 #include "workloads/suite.hh"
@@ -54,7 +76,9 @@ parseArgs(int argc, char **argv)
 {
     Args args;
     if (argc < 2)
-        scsim_fatal("usage: scsim_cli <run|list|dump|info> [options]");
+        scsim_fatal(
+            "usage: scsim_cli <run|sweep|run-job|list|dump|info> "
+            "[options]");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string flag = argv[i];
@@ -62,7 +86,7 @@ parseArgs(int argc, char **argv)
             scsim_fatal("unexpected argument '%s'", flag.c_str());
         flag.erase(0, 2);
         if (flag == "concurrent" || flag == "quiet"
-            || flag == "fail-fast") {
+            || flag == "fail-fast" || flag == "isolate") {
             args.options[flag] = "1";
             continue;
         }
@@ -134,7 +158,11 @@ workloadFor(const Args &args)
                 makeConflictMicro(std::stoi(m.substr(9))));
         else if (m == "hang")
             app.kernels.push_back(makeHangMicro());
-        else
+        else if (m == "crash" || m == "crash:abort") {
+            app.kernels.push_back(makeCrashMicro());
+            FaultInjector::instance().raiseSignalInKernel(
+                "crash-micro", m == "crash" ? SIGSEGV : SIGABRT);
+        } else
             scsim_fatal("unknown micro '%s'", m.c_str());
         return app;
     }
@@ -285,6 +313,22 @@ cmdSweep(const Args &args)
     if (auto it = args.options.find("max-failures");
         it != args.options.end())
         opts.maxFailures = std::stoull(it->second);
+    opts.isolate = args.options.count("isolate") > 0;
+    if (auto it = args.options.find("timeout");
+        it != args.options.end())
+        opts.jobTimeoutSec = std::stod(it->second);
+    if (auto it = args.options.find("retries");
+        it != args.options.end())
+        opts.crashAttempts = std::stoi(it->second);
+    if (auto it = args.options.find("journal");
+        it != args.options.end())
+        opts.journalPath = it->second;
+    if (auto it = args.options.find("resume");
+        it != args.options.end()) {
+        opts.resumePath = it->second;
+        if (opts.journalPath.empty())
+            opts.journalPath = it->second;  // rewritten complete
+    }
 
     SweepEngine engine(opts);
     SweepResult res = engine.run(spec);
@@ -345,6 +389,65 @@ cmdSweep(const Args &args)
     }
     std::fprintf(stderr, "%s\n", summaryLine(res, opts.jobs).c_str());
     return res.allOk() ? 0 : 1;
+}
+
+/**
+ * `run-job`: the isolated-sweep worker.  One scsim-job record on
+ * stdin, one scsim-jobres record on stdout, exit 0.  Simulation
+ * failures (including hangs) are *results*, not process errors —
+ * they come back inside the record; a nonzero exit means the
+ * protocol itself broke (or the process died, which is the point).
+ */
+int
+cmdRunJob()
+{
+    using namespace scsim::runner;
+
+    if (const char *crash = std::getenv("SCSIM_FAULT_CRASH"))
+        if (!FaultInjector::instance().armCrashFromEnv(crash))
+            scsim_warn("ignoring unparsable SCSIM_FAULT_CRASH='%s'",
+                       crash);
+
+    std::string input(std::istreambuf_iterator<char>(std::cin), {});
+    SimJob job;
+    switch (parseJob(input, job)) {
+      case WireDecode::Ok:
+        break;
+      case WireDecode::VersionSkew:
+        scsim_fatal("run-job: job record from another wire version");
+      case WireDecode::Corrupt:
+        scsim_fatal("run-job: corrupt job record on stdin");
+    }
+
+    JobResult r;
+    r.key = jobKey(job);
+    auto start = std::chrono::steady_clock::now();
+    try {
+        Application app = buildApp(job.app, job.salt);
+        GpuSim sim(job.cfg);
+        r.stats = job.concurrent ? sim.runConcurrent(app)
+                                 : sim.run(app);
+        r.status = JobStatus::Ok;
+    } catch (const HangError &e) {
+        r.stats = SimStats{};
+        r.status = JobStatus::Hang;
+        r.error = e.what();
+        std::fprintf(stderr, "%s", e.diagnostic().c_str());
+    } catch (const std::exception &e) {
+        r.stats = SimStats{};
+        r.status = JobStatus::Failed;
+        r.error = e.what();
+    }
+    r.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+
+    std::string record = serializeJobResult(r);
+    if (std::fwrite(record.data(), 1, record.size(), stdout)
+            != record.size()
+        || std::fflush(stdout) != 0)
+        scsim_fatal("run-job: cannot write result record to stdout");
+    return 0;
 }
 
 int
@@ -414,14 +517,16 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (args.command == "sweep")
             return cmdSweep(args);
+        if (args.command == "run-job")
+            return cmdRunJob();
         if (args.command == "list")
             return cmdList(args);
         if (args.command == "dump")
             return cmdDump(args);
         if (args.command == "info")
             return cmdInfo(args);
-        scsim_fatal("unknown command '%s' (try run/sweep/list/dump/"
-                    "info)", args.command.c_str());
+        scsim_fatal("unknown command '%s' (try run/sweep/run-job/"
+                    "list/dump/info)", args.command.c_str());
     } catch (const HangError &e) {
         std::fprintf(stderr, "fatal: %s\n%s", e.what(),
                      e.diagnostic().c_str());
