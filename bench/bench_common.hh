@@ -19,10 +19,10 @@
 #include <vector>
 
 #include "config/gpu_config.hh"
-#include "gpu/gpu_sim.hh"
 #include "runner/design.hh"
 #include "runner/report.hh"
 #include "runner/sweep_engine.hh"
+#include "sim/engine.hh"
 #include "stats/stats.hh"
 #include "workloads/suite.hh"
 
@@ -32,8 +32,18 @@ namespace scsim::bench {
 // the sweep engine and the CLI share it; re-exported here for the
 // figure binaries.
 using runner::Design;
-using runner::applyDesign;
 using runner::toString;
+
+/**
+ * Configuration for design point @p d on top of @p base, resolved
+ * through the library's design catalogue by name — the figure
+ * binaries carry no policy-wiring logic of their own.
+ */
+inline GpuConfig
+designConfig(const GpuConfig &base, Design d)
+{
+    return runner::designConfig(base, toString(d));
+}
 
 /** Scaled-down Volta baseline used by the harness (see DESIGN.md). */
 inline GpuConfig
@@ -67,7 +77,7 @@ runDesignSweep(const GpuConfig &base, const std::vector<AppSpec> &apps,
         spec.add(jobTag(app, Design::Baseline), base, app);
         for (Design d : designs)
             if (d != Design::Baseline)
-                spec.add(jobTag(app, d), applyDesign(base, d), app);
+                spec.add(jobTag(app, d), designConfig(base, d), app);
     }
     runner::SweepOptions opts;
     opts.jobs = jobs;
@@ -89,11 +99,24 @@ parseSweepArgs(int argc, char **argv, int firstIdx, int &jobs,
     cacheDir = argc > firstIdx + 1 ? argv[firstIdx + 1] : "";
 }
 
-/** Cycles for @p app under @p cfg. */
+/** Cycles for @p app under @p cfg (one engine per call). */
 inline SimStats
 runApp(const GpuConfig &cfg, const AppSpec &spec)
 {
-    return simulate(cfg, buildApp(spec));
+    return sim::SimEngine(cfg).runApp(spec);
+}
+
+/** One-shot engine run of a built Application or a single kernel. */
+inline SimStats
+runSim(const GpuConfig &cfg, const Application &app)
+{
+    return sim::SimEngine(cfg).run(app);
+}
+
+inline SimStats
+runSim(const GpuConfig &cfg, const KernelDesc &kernel)
+{
+    return sim::SimEngine(cfg).run(kernel);
 }
 
 inline double

@@ -21,7 +21,7 @@ main(int argc, char **argv)
     std::printf("Paper: mean ~1.132x across the suite\n\n");
 
     GpuConfig base = baseConfig(6);
-    GpuConfig fc = applyDesign(base, Design::FullyConnected);
+    GpuConfig fc = designConfig(base, Design::FullyConnected);
 
     std::vector<double> all;
     std::string curSuite;

@@ -25,9 +25,9 @@ double
 normalizedTime(const GpuConfig &cfg, FmaLayout layout)
 {
     KernelDesc k = makeFmaMicro(layout, 2048, 32);
-    Cycle base = simulate(cfg, makeFmaMicro(FmaLayout::Baseline, 2048,
+    Cycle base = runSim(cfg, makeFmaMicro(FmaLayout::Baseline, 2048,
                                             32)).cycles;
-    Cycle t = simulate(cfg, k).cycles;
+    Cycle t = runSim(cfg, k).cycles;
     return static_cast<double>(t) / static_cast<double>(base);
 }
 

@@ -36,13 +36,13 @@ main()
         KernelDesc k = makeImbalanceMicro(imbalance, 256, 16);
         // Normalize each design to the ideal: total work spread
         // perfectly, i.e. the SRR runtime at imbalance 1.
-        Cycle t0 = simulate(srr, makeImbalanceMicro(1.0, 256, 16)).cycles;
+        Cycle t0 = runSim(srr, makeImbalanceMicro(1.0, 256, 16)).cycles;
         double work = (8.0 * imbalance + 24.0) / 32.0;
         double ideal = static_cast<double>(t0) * work;
         printRow(std::to_string(imbalance), {
-            static_cast<double>(simulate(rr, k).cycles) / ideal,
-            static_cast<double>(simulate(srr, k).cycles) / ideal,
-            static_cast<double>(simulate(shuffle, k).cycles) / ideal,
+            static_cast<double>(runSim(rr, k).cycles) / ideal,
+            static_cast<double>(runSim(srr, k).cycles) / ideal,
+            static_cast<double>(runSim(shuffle, k).cycles) / ideal,
         });
     }
     return 0;

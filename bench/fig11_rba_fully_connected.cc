@@ -22,9 +22,9 @@ main(int argc, char **argv)
                 "subset\n\n");
 
     GpuConfig base = baseConfig(6);
-    GpuConfig fc = applyDesign(base, Design::FullyConnected);
-    GpuConfig fcRba = applyDesign(base, Design::FullyConnectedRBA);
-    GpuConfig rba = applyDesign(base, Design::RBA);
+    GpuConfig fc = designConfig(base, Design::FullyConnected);
+    GpuConfig fcRba = designConfig(base, Design::FullyConnectedRBA);
+    GpuConfig rba = designConfig(base, Design::RBA);
 
     printHeader("app", { "RBA", "FC", "FC+RBA" });
     std::vector<double> rbaS, fcS, fcRbaS;

@@ -37,7 +37,7 @@ main(int argc, char **argv)
         Cycle b = runApp(base, spec).cycles;
         std::vector<double> row;
         for (std::size_t i = 0; i < std::size(designs); ++i) {
-            double s = speedup(b, runApp(applyDesign(base, designs[i]),
+            double s = speedup(b, runApp(designConfig(base, designs[i]),
                                          spec).cycles);
             row.push_back(s);
             perDesign[i].push_back(s);

@@ -25,7 +25,7 @@ traceApp(const char *name, double scale)
     printHeader("design", { "avg rd/c", "peak", "p<85/all" });
     for (Design d : { Design::Baseline, Design::RBA,
                       Design::FullyConnected }) {
-        GpuConfig cfg = applyDesign(baseConfig(1), d);
+        GpuConfig cfg = designConfig(baseConfig(1), d);
         cfg.rfTraceEnable = true;
         cfg.rfTraceWindow = 64;
         SimStats s = runApp(cfg, spec);

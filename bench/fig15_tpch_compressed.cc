@@ -21,8 +21,8 @@ main(int argc, char **argv)
     std::printf("Paper: SRR avg 1.331, Shuffle avg 1.274\n\n");
 
     GpuConfig base = baseConfig(6);
-    GpuConfig srr = applyDesign(base, Design::SRR);
-    GpuConfig shuffle = applyDesign(base, Design::Shuffle);
+    GpuConfig srr = designConfig(base, Design::SRR);
+    GpuConfig shuffle = designConfig(base, Design::Shuffle);
 
     printHeader("query", { "SRR", "Shuffle" });
     std::vector<double> s1, s2;

@@ -22,8 +22,8 @@ main(int argc, char **argv)
     std::printf("Paper: RR avg 0.80 -> SRR avg 0.11\n\n");
 
     GpuConfig base = baseConfig(6);
-    GpuConfig srr = applyDesign(base, Design::SRR);
-    GpuConfig shuffle = applyDesign(base, Design::Shuffle);
+    GpuConfig srr = designConfig(base, Design::SRR);
+    GpuConfig shuffle = designConfig(base, Design::Shuffle);
 
     printHeader("query", { "RR", "SRR", "Shuffle" });
     std::vector<double> c0, c1, c2;

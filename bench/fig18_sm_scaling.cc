@@ -50,7 +50,7 @@ main(int argc, char **argv)
 
     std::vector<AppSpec> apps = computeBound(scale);
 
-    GpuConfig fcCfg = applyDesign(baseConfig(8),
+    GpuConfig fcCfg = designConfig(baseConfig(8),
                                   Design::FullyConnected);
     double fcTime = meanCycles(fcCfg, apps);
 
@@ -61,7 +61,7 @@ main(int argc, char **argv)
     int prevN = 0;
     for (int n : counts) {
         GpuConfig part = baseConfig(n);
-        GpuConfig design = applyDesign(part, Design::ShuffleRBA);
+        GpuConfig design = designConfig(part, Design::ShuffleRBA);
         double rBase = fcTime / meanCycles(part, apps);
         double rDesign = fcTime / meanCycles(design, apps);
         printRow(std::to_string(n), { rBase, rDesign });

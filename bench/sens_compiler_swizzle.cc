@@ -42,17 +42,17 @@ main(int argc, char **argv)
                 "GTO on the as-generated code)\n\n");
 
     GpuConfig base = baseConfig(6);
-    GpuConfig rba = applyDesign(base, Design::RBA);
+    GpuConfig rba = designConfig(base, Design::RBA);
 
     printHeader("app", { "realloc", "RBA", "both" });
     std::vector<double> sRe, sRba, sBoth;
     for (const AppSpec &spec : rfSensitiveApps(scale)) {
         Application app = buildApp(spec);
         Application re = realloc2Banks(app);
-        Cycle b = simulate(base, app).cycles;
-        double v1 = speedup(b, simulate(base, re).cycles);
-        double v2 = speedup(b, simulate(rba, app).cycles);
-        double v3 = speedup(b, simulate(rba, re).cycles);
+        Cycle b = runSim(base, app).cycles;
+        double v1 = speedup(b, runSim(base, re).cycles);
+        double v2 = speedup(b, runSim(rba, app).cycles);
+        double v3 = speedup(b, runSim(rba, re).cycles);
         printRow(spec.name, { v1, v2, v3 });
         sRe.push_back(v1);
         sRba.push_back(v2);

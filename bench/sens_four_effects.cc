@@ -116,7 +116,7 @@ main()
                 "with significant magnitude\n\n");
 
     GpuConfig part = baseConfig(4);
-    GpuConfig fc = applyDesign(part, Design::FullyConnected);
+    GpuConfig fc = designConfig(part, Design::FullyConnected);
 
     printHeader("effect", { "FC/part" });
     struct Case { Application app; bool concurrent; };
@@ -128,9 +128,9 @@ main()
     };
     for (Case &c : cases) {
         auto cyclesOn = [&](const GpuConfig &cfg) {
-            GpuSim sim(cfg);
-            SimStats s = c.concurrent ? sim.runConcurrent(c.app)
-                                      : sim.run(c.app);
+            sim::SimEngine engine(cfg);
+            SimStats s = c.concurrent ? engine.runConcurrent(c.app)
+                                      : engine.run(c.app);
             return s.cycles;
         };
         printRow(c.app.name,

@@ -23,8 +23,8 @@ main(int argc, char **argv)
                 "(speedup vs GTO+RR)\n\n");
 
     GpuConfig base = baseConfig(6);
-    GpuConfig srr = applyDesign(base, Design::SRR);
-    GpuConfig shuffle = applyDesign(base, Design::Shuffle);
+    GpuConfig srr = designConfig(base, Design::SRR);
+    GpuConfig shuffle = designConfig(base, Design::Shuffle);
     GpuConfig oracle = base;
     oracle.idealWarpMigration = true;
 
@@ -33,11 +33,11 @@ main(int argc, char **argv)
                            "cg-pgrnk", "pb-mriq" };
     for (const char *name : apps) {
         Application app = buildApp(findApp(name, scale));
-        Cycle b = simulate(base, app).cycles;
-        SimStats o = simulate(oracle, app);
+        Cycle b = runSim(base, app).cycles;
+        SimStats o = runSim(oracle, app);
         printRow(name, {
-            speedup(b, simulate(srr, app).cycles),
-            speedup(b, simulate(shuffle, app).cycles),
+            speedup(b, runSim(srr, app).cycles),
+            speedup(b, runSim(shuffle, app).cycles),
             speedup(b, o.cycles),
             1000.0 * static_cast<double>(o.warpMigrations)
                 / static_cast<double>(o.cycles),
@@ -46,11 +46,11 @@ main(int argc, char **argv)
 
     // The pathological microbenchmark: the oracle's best case.
     KernelDesc micro = makeImbalanceMicro(16.0, 384, 24);
-    Cycle b = simulate(base, micro).cycles;
-    SimStats o = simulate(oracle, micro);
+    Cycle b = runSim(base, micro).cycles;
+    SimStats o = runSim(oracle, micro);
     printRow("imbalance-16x", {
-        speedup(b, simulate(srr, micro).cycles),
-        speedup(b, simulate(shuffle, micro).cycles),
+        speedup(b, runSim(srr, micro).cycles),
+        speedup(b, runSim(shuffle, micro).cycles),
         speedup(b, o.cycles),
         1000.0 * static_cast<double>(o.warpMigrations)
             / static_cast<double>(o.cycles),

@@ -33,7 +33,7 @@ main(int argc, char **argv)
         Cycle b = runApp(base, spec).cycles;
         std::vector<double> row;
         for (std::size_t i = 0; i < std::size(lats); ++i) {
-            GpuConfig cfg = applyDesign(base, Design::RBA);
+            GpuConfig cfg = designConfig(base, Design::RBA);
             cfg.rbaScoreLatency = lats[i];
             double s = speedup(b, runApp(cfg, spec).cycles);
             row.push_back(s);

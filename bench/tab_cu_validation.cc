@@ -39,7 +39,7 @@ main()
             GpuConfig cfg = base;
             cfg.collectorUnitsPerSm = cuCounts[i] * cfg.subCores;
             double cycles = static_cast<double>(
-                simulate(cfg, k).cycles);
+                runSim(cfg, k).cycles);
             row.push_back(cycles);
             absErr[i] += std::abs(cycles - oracle) / oracle;
         }

@@ -30,6 +30,7 @@
 
 #include "common/rng.hh"
 #include "config/gpu_config.hh"
+#include "sim/registry.hh"
 
 namespace scsim {
 
@@ -129,9 +130,16 @@ class HashTableAssigner : public SubcoreAssigner
 };
 
 /**
- * Build the configured assigner.  @p seed feeds Shuffle's RNG (and the
- * per-SM hash-table programming for HashShuffle).
+ * Build @p cfg's assignment policy through the registry
+ * (sim/registry.hh); throws ConfigError if the policy name is not
+ * registered.  @p seed feeds Shuffle's RNG (and the per-SM hash-table
+ * programming for HashShuffle); the hash-table size comes from
+ * cfg.hashTableEntries.
  */
+std::unique_ptr<SubcoreAssigner>
+makeAssigner(const GpuConfig &cfg, int numSubcores, std::uint64_t seed);
+
+/** Enum convenience over the registry path (tests). */
 std::unique_ptr<SubcoreAssigner>
 makeAssigner(AssignPolicy policy, int numSubcores, int hashEntries,
              std::uint64_t seed);

@@ -16,13 +16,20 @@ IssueCluster::IssueCluster(const GpuConfig &cfg, int clusterId)
 {
     int nsched = cfg.schedulersPerCluster();
     for (int s = 0; s < nsched; ++s)
-        scheds_.push_back(makeScheduler(cfg.scheduler));
+        scheds_.push_back(makeScheduler(cfg));
     schedWarps_.resize(static_cast<std::size_t>(nsched));
     ageCounter_.assign(static_cast<std::size_t>(nsched), 0);
 
-    std::size_t depth = static_cast<std::size_t>(cfg.rbaScoreLatency) + 1;
-    qlenRing_.assign(depth, std::vector<int>(
-        static_cast<std::size_t>(cfg.banksPerCluster()), 0));
+    ringDepth_ = static_cast<std::size_t>(cfg.rbaScoreLatency) + 1;
+    numBanks_ = static_cast<std::size_t>(cfg.banksPerCluster());
+    qlenRing_.assign(ringDepth_ * numBanks_, 0);
+
+    // Worst-case candidate count: every warp of every scheduler table
+    // (the shared-pool path scans them all); reserving it up front
+    // keeps the per-cycle scratch list allocation-free.
+    candidates_.reserve(static_cast<std::size_t>(nsched)
+                        * static_cast<std::size_t>(
+                              cfg.maxWarpsPerScheduler));
 }
 
 int
@@ -148,6 +155,13 @@ IssueCluster::applyGrants(Cycle now, SmCore &sm)
 bool
 IssueCluster::candidateReady(const WarpContext &warp) const
 {
+    return candidateReadyWith(warp, collector_.hasFree());
+}
+
+bool
+IssueCluster::candidateReadyWith(const WarpContext &warp,
+                                 bool cuFree) const
+{
     if (!warp.schedulable())
         return false;
     const Instruction &inst = warp.nextInst();
@@ -157,7 +171,7 @@ IssueCluster::candidateReady(const WarpContext &warp) const
     }
     if (!warp.scoreboard.ready(inst))
         return false;
-    if (inst.usesCollector() && !collector_.hasFree())
+    if (inst.usesCollector() && !cuFree)
         return false;
     return true;
 }
@@ -165,12 +179,12 @@ IssueCluster::candidateReady(const WarpContext &warp) const
 const int *
 IssueCluster::staleQueueView() const
 {
-    std::size_t depth = qlenRing_.size();
     // head_ holds the snapshot taken at the *start* of this issue
     // phase (latency 0); older snapshots sit behind it.
     std::size_t lag = static_cast<std::size_t>(cfg_.rbaScoreLatency);
-    std::size_t idx = (head_ + depth - lag % depth) % depth;
-    return qlenRing_[idx].data();
+    std::size_t idx = (head_ + ringDepth_ - lag % ringDepth_)
+        % ringDepth_;
+    return qlenRing_.data() + idx * numBanks_;
 }
 
 int
@@ -179,9 +193,9 @@ IssueCluster::issue(Cycle now, SmCore &sm)
     int issued = 0;
     // Record the live queue lengths as this cycle's snapshot, then let
     // schedulers see the view rbaScoreLatency cycles behind it.
-    auto &snap = qlenRing_[head_];
+    int *snap = qlenRing_.data() + head_ * numBanks_;
     for (int b = 0; b < arbiter_.numBanks(); ++b)
-        snap[static_cast<std::size_t>(b)] = arbiter_.readQueueLen(b);
+        snap[b] = arbiter_.readQueueLen(b);
 
     WarpContext *warps = sm.warpTable();
     PickContext ctx;
@@ -201,10 +215,13 @@ IssueCluster::issue(Cycle now, SmCore &sm)
         int slots = nsched * cfg_.issueWidthPerScheduler;
         for (int k = 0; k < slots; ++k) {
             candidates_.clear();
+            // No CU is allocated during the scan itself, so the
+            // collector-free test is loop-invariant.
+            const bool cuFree = collector_.hasFree();
             for (const auto &list : schedWarps_)
                 for (WarpSlot slot : list) {
                     WarpContext &w = warps[slot];
-                    if (!w.sbBlocked && candidateReady(w))
+                    if (!w.sbBlocked && candidateReadyWith(w, cuFree))
                         candidates_.push_back(slot);
                 }
             if (candidates_.empty())
@@ -215,7 +232,7 @@ IssueCluster::issue(Cycle now, SmCore &sm)
             ++issued;
             ++sm.stats().issueSlotsUsed;
         }
-        head_ = (head_ + 1) % qlenRing_.size();
+        head_ = (head_ + 1) % ringDepth_;
         return issued;
     }
     int start = static_cast<int>(now % static_cast<Cycle>(nsched));
@@ -227,6 +244,9 @@ IssueCluster::issue(Cycle now, SmCore &sm)
              ++slotIssue) {
             candidates_.clear();
             bool sawHazard = false, sawNoCu = false, sawWarp = false;
+            // Loop-invariant: issue happens after the scan, so CU
+            // availability cannot change while collecting candidates.
+            const bool cuFree = collector_.hasFree();
             for (WarpSlot slot
                  : schedWarps_[static_cast<std::size_t>(s)]) {
                 WarpContext &w = warps[slot];
@@ -244,8 +264,7 @@ IssueCluster::issue(Cycle now, SmCore &sm)
                     sawHazard = true;
                     continue;
                 }
-                if (!drainOp && inst.usesCollector()
-                    && !collector_.hasFree()) {
+                if (!drainOp && inst.usesCollector() && !cuFree) {
                     sawNoCu = true;
                     continue;
                 }
@@ -277,14 +296,15 @@ IssueCluster::issue(Cycle now, SmCore &sm)
             // instruction whose source banks are all idle into a free
             // CU, ahead of normal issue order.
             candidates_.clear();
+            const bool cuFree = collector_.hasFree();
             for (WarpSlot slot : schedWarps_[static_cast<std::size_t>(s)]) {
                 const WarpContext &w = warps[slot];
-                if (!candidateReady(w))
+                if (!candidateReadyWith(w, cuFree))
                     continue;
                 const Instruction &inst = w.nextInst();
                 if (!inst.usesCollector())
                     continue;
-                if (collector_.hasFree()
+                if (cuFree
                     && collector_.banksIdle(slot, inst, arbiter_)) {
                     candidates_.push_back(slot);
                 }
@@ -302,7 +322,7 @@ IssueCluster::issue(Cycle now, SmCore &sm)
         }
     }
 
-    head_ = (head_ + 1) % qlenRing_.size();
+    head_ = (head_ + 1) % ringDepth_;
     return issued;
 }
 
@@ -340,8 +360,7 @@ IssueCluster::snapshotQueues()
 void
 IssueCluster::onIdleSkip()
 {
-    for (auto &snap : qlenRing_)
-        std::fill(snap.begin(), snap.end(), 0);
+    std::fill(qlenRing_.begin(), qlenRing_.end(), 0);
 }
 
 bool
@@ -353,9 +372,10 @@ IssueCluster::hasImmediateWork(const SmCore &sm) const
         if (collector_.unit(i).busy)
             return true;
     const WarpContext *warps = sm.warpTable();
+    const bool cuFree = collector_.hasFree();
     for (const auto &list : schedWarps_)
         for (WarpSlot slot : list)
-            if (candidateReady(warps[slot]))
+            if (candidateReadyWith(warps[slot], cuFree))
                 return true;
     return false;
 }

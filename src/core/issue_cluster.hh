@@ -88,6 +88,13 @@ class IssueCluster
     /** Ready-to-issue test for one warp's next instruction. */
     bool candidateReady(const WarpContext &warp) const;
 
+    /**
+     * candidateReady with the collector-free test hoisted out: within
+     * one candidate scan no CU is allocated, so callers evaluate
+     * collector_.hasFree() once instead of per warp.
+     */
+    bool candidateReadyWith(const WarpContext &warp, bool cuFree) const;
+
     /** Queue lengths as seen by the scheduler (staleness applied). */
     const int *staleQueueView() const;
 
@@ -102,8 +109,15 @@ class IssueCluster
     std::vector<std::vector<WarpSlot>> schedWarps_;
     std::vector<std::uint32_t> ageCounter_;
 
-    /** Ring of bank-queue-length snapshots, newest at head_. */
-    std::vector<std::vector<int>> qlenRing_;
+    /**
+     * Ring of bank-queue-length snapshots, newest row at head_.  Flat
+     * row-major storage (ringDepth_ rows of numBanks_ ints) so the
+     * per-cycle snapshot write and the stale view read touch one
+     * contiguous allocation instead of chasing per-row vectors.
+     */
+    std::vector<int> qlenRing_;
+    std::size_t ringDepth_ = 1;
+    std::size_t numBanks_ = 0;
     std::size_t head_ = 0;
 
     ArbGrants grants_;

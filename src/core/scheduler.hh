@@ -24,6 +24,7 @@
 
 #include "config/gpu_config.hh"
 #include "core/warp.hh"
+#include "sim/registry.hh"
 
 namespace scsim {
 
@@ -90,7 +91,15 @@ class RbaScheduler : public WarpScheduler
                   const PickContext &ctx) override;
 };
 
-/** Instantiate the configured policy. */
+/**
+ * Instantiate @p cfg's scheduler policy through the registry
+ * (sim/registry.hh) — the one wiring path; throws ConfigError if the
+ * policy name is not registered.
+ */
+std::unique_ptr<WarpScheduler> makeScheduler(const GpuConfig &cfg);
+
+/** Enum convenience over the registry path (tests, call sites with no
+ *  full config at hand). */
 std::unique_ptr<WarpScheduler> makeScheduler(SchedulerPolicy policy);
 
 } // namespace scsim

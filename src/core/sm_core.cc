@@ -32,8 +32,7 @@ SmCore::SmCore(const GpuConfig &cfg, int smId, MemSystem &mem,
 
     std::uint64_t seed = cfg.seed
         ^ (0x51ed2701a3c5e091ULL * static_cast<std::uint64_t>(smId + 1));
-    assigner_ = makeAssigner(cfg.assign, cfg.schedulersPerSm,
-                             cfg.hashTableEntries, seed);
+    assigner_ = makeAssigner(cfg, cfg.schedulersPerSm, seed);
     rfTrace_ = cfg.rfTraceEnable && smId == 0;
 }
 

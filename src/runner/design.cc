@@ -1,96 +1,151 @@
 #include "runner/design.hh"
 
+#include <cstring>
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace scsim::runner {
 
+namespace {
+
+DesignOverlay
+overlay(std::optional<SchedulerPolicy> scheduler,
+        std::optional<AssignPolicy> assign,
+        std::optional<int> subCores = std::nullopt,
+        std::optional<bool> bankStealing = std::nullopt,
+        std::optional<int> cusPerSubcore = std::nullopt)
+{
+    return DesignOverlay{ scheduler, assign, subCores, bankStealing,
+                          cusPerSubcore };
+}
+
+/** True when @p name appears in the space-separated @p aliases. */
+bool
+matchesAlias(const char *aliases, const std::string &name)
+{
+    const char *p = aliases;
+    while (*p != '\0') {
+        const char *end = std::strchr(p, ' ');
+        std::size_t len = end ? static_cast<std::size_t>(end - p)
+                              : std::strlen(p);
+        if (name.size() == len && name.compare(0, len, p, len) == 0)
+            return true;
+        p += len + (end ? 1 : 0);
+    }
+    return false;
+}
+
+} // namespace
+
+const std::vector<DesignInfo> &
+designCatalog()
+{
+    static const std::vector<DesignInfo> table = {
+        { Design::Baseline, "Baseline", "",
+          "GTO + RR on the partitioned SM",
+          overlay(std::nullopt, std::nullopt) },
+        { Design::RBA, "RBA", "",
+          "register-bank-aware warp scheduler",
+          overlay(SchedulerPolicy::RBA, std::nullopt) },
+        { Design::SRR, "SRR", "",
+          "skewed-round-robin warp-to-subcore assignment",
+          overlay(std::nullopt, AssignPolicy::SRR) },
+        { Design::Shuffle, "Shuffle", "",
+          "shuffled warp-to-subcore assignment",
+          overlay(std::nullopt, AssignPolicy::Shuffle) },
+        { Design::ShuffleRBA, "Shuffle+RBA", "ShuffleRBA",
+          "shuffled assignment + RBA scheduler (the paper's proposal)",
+          overlay(SchedulerPolicy::RBA, AssignPolicy::Shuffle) },
+        { Design::FullyConnected, "Fully-Connected",
+          "FullyConnected FC",
+          "unpartitioned SM: one sub-core spans the register file",
+          overlay(std::nullopt, std::nullopt, 1) },
+        { Design::FullyConnectedRBA, "FC+RBA",
+          "FullyConnectedRBA FCRBA",
+          "unpartitioned SM + RBA scheduler",
+          overlay(SchedulerPolicy::RBA, std::nullopt, 1) },
+        { Design::BankStealing, "BankStealing", "",
+          "operand collectors may steal idle remote bank ports",
+          overlay(std::nullopt, std::nullopt, std::nullopt, true) },
+        { Design::Cus4, "4 CUs", "Cus4",
+          "4 collector units per sub-core",
+          overlay(std::nullopt, std::nullopt, std::nullopt,
+                  std::nullopt, 4) },
+        { Design::Cus8, "8 CUs", "Cus8",
+          "8 collector units per sub-core",
+          overlay(std::nullopt, std::nullopt, std::nullopt,
+                  std::nullopt, 8) },
+        { Design::Cus16, "16 CUs", "Cus16",
+          "16 collector units per sub-core",
+          overlay(std::nullopt, std::nullopt, std::nullopt,
+                  std::nullopt, 16) },
+    };
+    return table;
+}
+
 const char *
 toString(Design d)
 {
-    switch (d) {
-      case Design::Baseline:          return "Baseline";
-      case Design::RBA:               return "RBA";
-      case Design::SRR:               return "SRR";
-      case Design::Shuffle:           return "Shuffle";
-      case Design::ShuffleRBA:        return "Shuffle+RBA";
-      case Design::FullyConnected:    return "Fully-Connected";
-      case Design::FullyConnectedRBA: return "FC+RBA";
-      case Design::BankStealing:      return "BankStealing";
-      case Design::Cus4:              return "4 CUs";
-      case Design::Cus8:              return "8 CUs";
-      case Design::Cus16:             return "16 CUs";
-    }
+    for (const DesignInfo &info : designCatalog())
+        if (info.id == d)
+            return info.name;
     return "?";
 }
 
 Design
 parseDesign(const std::string &name)
 {
-    for (Design d : allDesigns())
-        if (name == toString(d))
-            return d;
-    // Identifier aliases usable on a command line (no '+', ' ', '-').
-    if (name == "ShuffleRBA")        return Design::ShuffleRBA;
-    if (name == "FullyConnected")    return Design::FullyConnected;
-    if (name == "FC")                return Design::FullyConnected;
-    if (name == "FullyConnectedRBA") return Design::FullyConnectedRBA;
-    if (name == "FCRBA")             return Design::FullyConnectedRBA;
-    if (name == "Cus4")              return Design::Cus4;
-    if (name == "Cus8")              return Design::Cus8;
-    if (name == "Cus16")             return Design::Cus16;
-    scsim_fatal("unknown design '%s'", name.c_str());
+    for (const DesignInfo &info : designCatalog())
+        if (name == info.name || matchesAlias(info.aliases, name))
+            return info.id;
+    std::ostringstream valid;
+    const char *sep = "";
+    for (const DesignInfo &info : designCatalog()) {
+        valid << sep << info.name;
+        sep = ", ";
+    }
+    scsim_throw(ConfigError, "unknown design '%s' (valid: %s)",
+                name.c_str(), valid.str().c_str());
 }
 
 std::vector<Design>
 allDesigns()
 {
-    return { Design::Baseline, Design::RBA, Design::SRR,
-             Design::Shuffle, Design::ShuffleRBA,
-             Design::FullyConnected, Design::FullyConnectedRBA,
-             Design::BankStealing, Design::Cus4, Design::Cus8,
-             Design::Cus16 };
+    std::vector<Design> out;
+    out.reserve(designCatalog().size());
+    for (const DesignInfo &info : designCatalog())
+        out.push_back(info.id);
+    return out;
 }
 
 GpuConfig
 applyDesign(GpuConfig cfg, Design d)
 {
-    switch (d) {
-      case Design::Baseline:
-        break;
-      case Design::RBA:
-        cfg.scheduler = SchedulerPolicy::RBA;
-        break;
-      case Design::SRR:
-        cfg.assign = AssignPolicy::SRR;
-        break;
-      case Design::Shuffle:
-        cfg.assign = AssignPolicy::Shuffle;
-        break;
-      case Design::ShuffleRBA:
-        cfg.scheduler = SchedulerPolicy::RBA;
-        cfg.assign = AssignPolicy::Shuffle;
-        break;
-      case Design::FullyConnected:
-        cfg.subCores = 1;
-        break;
-      case Design::FullyConnectedRBA:
-        cfg.subCores = 1;
-        cfg.scheduler = SchedulerPolicy::RBA;
-        break;
-      case Design::BankStealing:
-        cfg.bankStealing = true;
-        break;
-      case Design::Cus4:
-        cfg.collectorUnitsPerSm = 4 * cfg.subCores;
-        break;
-      case Design::Cus8:
-        cfg.collectorUnitsPerSm = 8 * cfg.subCores;
-        break;
-      case Design::Cus16:
-        cfg.collectorUnitsPerSm = 16 * cfg.subCores;
-        break;
+    for (const DesignInfo &info : designCatalog()) {
+        if (info.id != d)
+            continue;
+        const DesignOverlay &o = info.overlay;
+        if (o.scheduler)
+            cfg.scheduler = *o.scheduler;
+        if (o.assign)
+            cfg.assign = *o.assign;
+        if (o.cusPerSubcore)
+            cfg.collectorUnitsPerSm = *o.cusPerSubcore * cfg.subCores;
+        if (o.subCores)
+            cfg.subCores = *o.subCores;
+        if (o.bankStealing)
+            cfg.bankStealing = *o.bankStealing;
+        return cfg;
     }
-    return cfg;
+    scsim_panic("design %d missing from the catalogue",
+                static_cast<int>(d));
+}
+
+GpuConfig
+designConfig(GpuConfig base, const std::string &name)
+{
+    return applyDesign(std::move(base), parseDesign(name));
 }
 
 } // namespace scsim::runner

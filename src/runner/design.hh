@@ -8,11 +8,18 @@
  * comparison points.  Lives in the library (rather than the bench
  * harness) so the sweep engine, the CLI and the figure binaries all
  * agree on what "Shuffle+RBA" means.
+ *
+ * The catalogue is a data table (designCatalog()): one row holds the
+ * display name, the command-line aliases, a one-line description, and
+ * the config overlay — adding a design point is adding a row, visible
+ * at once to `scsim_cli list-designs`, the sweep engine, and every
+ * figure binary.
  */
 
 #ifndef SCSIM_RUNNER_DESIGN_HH
 #define SCSIM_RUNNER_DESIGN_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,19 +43,57 @@ enum class Design
     Cus16,
 };
 
+/**
+ * The config delta a design point applies to a baseline.  Absent
+ * fields leave the baseline untouched, so one overlay composes with
+ * any base configuration.
+ */
+struct DesignOverlay
+{
+    std::optional<SchedulerPolicy> scheduler;
+    std::optional<AssignPolicy> assign;
+    std::optional<int> subCores;
+    std::optional<bool> bankStealing;
+    /** collectorUnitsPerSm = cusPerSubcore * base.subCores. */
+    std::optional<int> cusPerSubcore;
+};
+
+/** One catalogue row: identity, naming, documentation, overlay. */
+struct DesignInfo
+{
+    Design id;
+    const char *name;         //!< display form ("Shuffle+RBA")
+    /** Identifier aliases usable on a command line (no '+', ' ', '-'),
+     *  space-separated; empty when the display form needs none. */
+    const char *aliases;
+    const char *description;
+    DesignOverlay overlay;
+};
+
+/** The full design table, in declaration order (Baseline first). */
+const std::vector<DesignInfo> &designCatalog();
+
 const char *toString(Design d);
 
 /**
  * Parse a design name; accepts both the display form ("Shuffle+RBA")
- * and the identifier form ("ShuffleRBA").  Fatal on unknown names.
+ * and the identifier aliases ("ShuffleRBA", "FC", ...).  Throws
+ * ConfigError listing the valid names on unknown input.
  */
 Design parseDesign(const std::string &name);
 
 /** Every design point, in declaration order (Baseline first). */
 std::vector<Design> allDesigns();
 
-/** Apply one design point to a baseline configuration. */
+/** Apply one design point's overlay to a baseline configuration. */
 GpuConfig applyDesign(GpuConfig cfg, Design d);
+
+/**
+ * Name-based form of applyDesign: resolve @p name through the
+ * catalogue (ConfigError listing valid names if unknown) and apply its
+ * overlay to @p base.  The path the CLI and the bench harness use.
+ */
+GpuConfig designConfig(GpuConfig base, const std::string &name);
 
 } // namespace scsim::runner
 

@@ -10,12 +10,12 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
-#include "gpu/gpu_sim.hh"
 #include "runner/job_key.hh"
 #include "runner/journal.hh"
 #include "runner/subprocess.hh"
 #include "runner/wire.hh"
 #include "runner/worker_pool.hh"
+#include "sim/engine.hh"
 
 namespace scsim::runner {
 
@@ -357,10 +357,9 @@ SweepEngine::run(const SweepSpec &spec)
                     runIsolated(job, r);
                     r.wallMs = msSince(jobStart);
                 } else {
-                    Application app = buildApp(job.app, job.salt);
-                    GpuSim sim(job.cfg);
-                    r.stats = job.concurrent ? sim.runConcurrent(app)
-                                             : sim.run(app);
+                    sim::SimEngine engine(job.cfg);
+                    r.stats = engine.runApp(job.app, job.salt,
+                                            job.concurrent);
                     r.wallMs = msSince(jobStart);
                     r.status = JobStatus::Ok;
                 }

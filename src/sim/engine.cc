@@ -1,0 +1,87 @@
+#include "sim/engine.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "stats/stats_io.hh"
+
+namespace scsim::sim {
+
+SimEngine::SimEngine(const GpuConfig &cfg)
+{
+    cfg.validate();
+    sim_ = std::make_unique<GpuSim>(cfg);
+}
+
+SimEngine::~SimEngine() = default;
+SimEngine::SimEngine(SimEngine &&) noexcept = default;
+SimEngine &SimEngine::operator=(SimEngine &&) noexcept = default;
+
+const GpuConfig &
+SimEngine::config() const
+{
+    return sim_->config();
+}
+
+void
+SimEngine::addObserver(EngineObserver obs)
+{
+    observers_.push_back(std::move(obs));
+}
+
+SimStats
+SimEngine::dispatch(const Application &app, bool concurrent)
+{
+    for (const EngineObserver &o : observers_)
+        if (o.onRunStart)
+            o.onRunStart(sim_->config(), app);
+    SimStats stats = concurrent ? sim_->runConcurrent(app) : sim_->run(app);
+    for (const EngineObserver &o : observers_)
+        if (o.onRunEnd)
+            o.onRunEnd(app, stats);
+    return stats;
+}
+
+SimStats
+SimEngine::run(const Application &app)
+{
+    return dispatch(app, /*concurrent=*/false);
+}
+
+SimStats
+SimEngine::run(const KernelDesc &kernel)
+{
+    Application app;
+    app.name = kernel.name;
+    app.kernels.push_back(kernel);
+    return dispatch(app, /*concurrent=*/false);
+}
+
+SimStats
+SimEngine::runConcurrent(const Application &app)
+{
+    return dispatch(app, /*concurrent=*/true);
+}
+
+SimStats
+SimEngine::runApp(const AppSpec &spec, std::uint64_t salt, bool concurrent)
+{
+    return dispatch(buildApp(spec, salt), concurrent);
+}
+
+std::uint64_t
+statsFingerprint(const SimStats &stats)
+{
+    return hashString(serializeStatsPayload(stats));
+}
+
+std::string
+statsFingerprintHex(const SimStats &stats)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, statsFingerprint(stats));
+    return buf;
+}
+
+} // namespace scsim::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SimEngine: the library facade every driver builds a simulation
+ * through.
+ *
+ * The CLI, the sweep engine, and the figure binaries used to each
+ * carry their own copy of the same four lines — synthesize the
+ * workload, construct a GpuSim, pick run vs runConcurrent, collect
+ * stats.  SimEngine is that wiring, once: build from a (validated)
+ * config, run a workload, and optionally observe the run from hook
+ * points.  Policy construction underneath goes through the string
+ * registries (sim/registry.hh), so an engine-built simulator and the
+ * legacy enum path are the same path.
+ *
+ * The facade also owns the *stats fingerprint*: a 64-bit FNV-1a hash
+ * of the canonical stats payload (stats/stats_io.hh).  Two runs are
+ * behaviorally identical iff their fingerprints match — the golden
+ * equivalence tests (ctest label `engine`) pin the fingerprints of
+ * all design points against seed behavior, which is what lets the
+ * wiring refactor prove it changed nothing.
+ */
+
+#ifndef SCSIM_SIM_ENGINE_HH
+#define SCSIM_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "gpu/gpu_sim.hh"
+#include "workloads/suite.hh"
+
+namespace scsim::sim {
+
+/**
+ * Observer hook points around one workload run.  Every callback is
+ * optional; observers fire in registration order.  Used for progress
+ * reporting and instrumentation without threading callbacks through
+ * the simulator core.
+ */
+struct EngineObserver
+{
+    /** Before the simulation starts. */
+    std::function<void(const GpuConfig &, const Application &)> onRunStart;
+    /** After the simulation finished, with its stats. */
+    std::function<void(const Application &, const SimStats &)> onRunEnd;
+};
+
+class SimEngine
+{
+  public:
+    /**
+     * Build a simulator from @p cfg.  Validates the configuration
+     * (throws ConfigError) and constructs the GpuSim — policies are
+     * resolved through the registries at this point, so an unknown
+     * policy name fails here, not mid-run.
+     */
+    explicit SimEngine(const GpuConfig &cfg);
+    ~SimEngine();
+
+    SimEngine(SimEngine &&) noexcept;
+    SimEngine &operator=(SimEngine &&) noexcept;
+
+    const GpuConfig &config() const;
+
+    /** The underlying simulator (tests, state dumps). */
+    GpuSim &sim() { return *sim_; }
+    const GpuSim &sim() const { return *sim_; }
+
+    void addObserver(EngineObserver obs);
+
+    /** Run @p app's kernels back-to-back. */
+    SimStats run(const Application &app);
+
+    /** Run a single kernel. */
+    SimStats run(const KernelDesc &kernel);
+
+    /** Run @p app's kernels concurrently (multi-kernel setting). */
+    SimStats runConcurrent(const Application &app);
+
+    /**
+     * Synthesize @p spec (with @p salt) and run it; @p concurrent
+     * selects the multi-kernel mode.  The one call the sweep engine
+     * and the `run-job` worker both reduce to.
+     */
+    SimStats runApp(const AppSpec &spec, std::uint64_t salt = 0,
+                    bool concurrent = false);
+
+  private:
+    SimStats dispatch(const Application &app, bool concurrent);
+
+    std::unique_ptr<GpuSim> sim_;
+    std::vector<EngineObserver> observers_;
+};
+
+/**
+ * 64-bit FNV-1a hash of the canonical stats payload: the behavioral
+ * identity of a run.  Byte-identical stats <=> equal fingerprints.
+ */
+std::uint64_t statsFingerprint(const SimStats &stats);
+
+/** Fixed-width lowercase hex form of statsFingerprint. */
+std::string statsFingerprintHex(const SimStats &stats);
+
+} // namespace scsim::sim
+
+#endif // SCSIM_SIM_ENGINE_HH

@@ -1,0 +1,71 @@
+#include "sim/registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scsim::sim {
+
+std::vector<std::string>
+RegistryBase::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+bool
+RegistryBase::contains(const std::string &name) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return true;
+    return false;
+}
+
+std::string
+RegistryBase::describe() const
+{
+    std::size_t width = 0;
+    for (const Entry &e : entries_)
+        width = std::max(width, e.name.size());
+    std::string out;
+    for (const Entry &e : entries_) {
+        out += "  ";
+        out += e.name;
+        out.append(width + 2 - e.name.size(), ' ');
+        out += e.description;
+        out += '\n';
+    }
+    return out;
+}
+
+std::size_t
+RegistryBase::addEntry(std::string name, std::string description)
+{
+    if (contains(name))
+        scsim_throw(ConfigError, "duplicate %s registration '%s'",
+                    kind_.c_str(), name.c_str());
+    entries_.push_back(Entry{ std::move(name), std::move(description) });
+    return entries_.size() - 1;
+}
+
+std::size_t
+RegistryBase::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].name == name)
+            return i;
+    std::string valid;
+    for (const Entry &e : entries_) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += e.name;
+    }
+    scsim_throw(ConfigError, "unknown %s '%s' (valid: %s)",
+                kind_.c_str(), name.c_str(), valid.c_str());
+}
+
+} // namespace scsim::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * String-keyed factory registries: the one wiring path from a policy
+ * name to a constructed policy object.
+ *
+ * Every warp-scheduler and sub-core-assignment policy is registered
+ * here under its configuration name ("GTO", "SRR", ...) together with
+ * a one-line description and a factory.  The enum switches that used
+ * to live in core/scheduler.cc and core/assign.cc are now
+ * registrations against these registries, so adding a policy is one
+ * registration line — immediately visible to the CLI
+ * (`scsim_cli list-policies`), the sweep engine, and every figure
+ * binary, with no other layer to edit.
+ *
+ * Registry semantics (DESIGN.md §10):
+ *  - registration order is preserved and is the enumeration order;
+ *  - duplicate names are rejected with ConfigError (a duplicate is a
+ *    wiring bug, but it is caused by code outside the simulator core,
+ *    so it throws rather than panics);
+ *  - unknown-name lookup throws ConfigError listing every valid name,
+ *    so a CLI typo produces the menu, not a stack trace.
+ *
+ * The registries themselves are defined next to the policies they
+ * construct (core/scheduler.cc, core/assign.cc): the registry is the
+ * mechanism, the policy files own their catalogue.
+ */
+
+#ifndef SCSIM_SIM_REGISTRY_HH
+#define SCSIM_SIM_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scsim {
+
+struct GpuConfig;
+class WarpScheduler;
+class SubcoreAssigner;
+
+namespace sim {
+
+/**
+ * Non-template core of Registry: the named, described, stably-ordered
+ * entry list.  Kept out of the template so the lookup/duplicate error
+ * paths compile once.
+ */
+class RegistryBase
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+    };
+
+    /** @p kind names the registry in error messages ("scheduler"). */
+    explicit RegistryBase(std::string kind) : kind_(std::move(kind)) {}
+
+    const std::string &kind() const { return kind_; }
+
+    /** Entries in registration order (stable enumeration order). */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    std::vector<std::string> names() const;
+
+    bool contains(const std::string &name) const;
+
+    /** One aligned "name  description" line per entry. */
+    std::string describe() const;
+
+  protected:
+    /** Append an entry; throws ConfigError on a duplicate name. */
+    std::size_t addEntry(std::string name, std::string description);
+
+    /** Index of @p name; throws ConfigError listing valid names. */
+    std::size_t indexOf(const std::string &name) const;
+
+  private:
+    std::string kind_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * A string-keyed factory registry.  @p Factory is any callable type
+ * (typically a std::function); the registry owns one per entry,
+ * parallel to the base-class entry list.
+ */
+template <typename Factory>
+class Registry : public RegistryBase
+{
+  public:
+    using RegistryBase::RegistryBase;
+
+    /** Register @p make under @p name; ConfigError on duplicates. */
+    void
+    add(std::string name, std::string description, Factory make)
+    {
+        addEntry(std::move(name), std::move(description));
+        factories_.push_back(std::move(make));
+    }
+
+    /** Factory for @p name; ConfigError (listing names) if unknown. */
+    const Factory &
+    lookup(const std::string &name) const
+    {
+        return factories_[indexOf(name)];
+    }
+
+  private:
+    std::vector<Factory> factories_;
+};
+
+/** Builds a warp scheduler for one scheduler slot of a cluster. */
+using SchedulerFactory =
+    std::function<std::unique_ptr<WarpScheduler>(const GpuConfig &)>;
+
+/** Per-SM inputs an assigner factory needs beyond the config. */
+struct AssignerContext
+{
+    /** Scheduler count the assigner multiplexes over (per SM). */
+    int numSubcores = 4;
+    /** Per-SM RNG seed (Shuffle permutations, hash-table programs). */
+    std::uint64_t seed = 0;
+};
+
+using AssignerFactory = std::function<std::unique_ptr<SubcoreAssigner>(
+    const GpuConfig &, const AssignerContext &)>;
+
+/**
+ * The process-wide registries.  Defined (and seeded with the built-in
+ * policies) in core/scheduler.cc and core/assign.cc respectively.
+ */
+Registry<SchedulerFactory> &schedulerRegistry();
+Registry<AssignerFactory> &assignerRegistry();
+
+} // namespace sim
+} // namespace scsim
+
+#endif // SCSIM_SIM_REGISTRY_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Engine & registry tests (ctest label `engine`).
+ *
+ * Covers the registry contract (stable order, duplicate rejection,
+ * unknown-name ConfigError listing the valid names), the design
+ * catalogue, the SimEngine facade (observer hooks, fingerprints), and
+ * the golden equivalence matrix: every design point on the micro
+ * workloads must produce a SimStats fingerprint byte-identical to the
+ * pre-refactor enum path (goldens captured from seed behavior in
+ * tests/goldens/engine_fingerprints.txt).
+ */
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expect_throw.hh"
+#include "runner/design.hh"
+#include "sim/engine.hh"
+#include "sim/registry.hh"
+#include "workloads/microbench.hh"
+
+namespace scsim {
+namespace {
+
+using runner::Design;
+using sim::AssignerContext;
+using sim::Registry;
+using sim::SimEngine;
+
+using CountFactory = std::function<int()>;
+
+// ---- registry mechanism ---------------------------------------------------
+
+TEST(Registry, PreservesRegistrationOrder)
+{
+    Registry<CountFactory> reg("widget");
+    reg.add("c", "third? no — first", [] { return 0; });
+    reg.add("a", "second", [] { return 1; });
+    reg.add("b", "third", [] { return 2; });
+    EXPECT_EQ(reg.names(), (std::vector<std::string>{ "c", "a", "b" }));
+    EXPECT_EQ(reg.lookup("a")(), 1);
+}
+
+TEST(Registry, RejectsDuplicateNames)
+{
+    Registry<CountFactory> reg("widget");
+    reg.add("dup", "", [] { return 0; });
+    EXPECT_THROW_WITH(reg.add("dup", "", [] { return 1; }), ConfigError,
+                      "duplicate widget registration 'dup'");
+    // The failed add must not have corrupted the registry.
+    EXPECT_EQ(reg.names().size(), 1u);
+    EXPECT_EQ(reg.lookup("dup")(), 0);
+}
+
+TEST(Registry, UnknownLookupListsValidNames)
+{
+    Registry<CountFactory> reg("widget");
+    reg.add("left", "", [] { return 0; });
+    reg.add("right", "", [] { return 1; });
+    EXPECT_THROW_WITH(reg.lookup("middle"), ConfigError,
+                      "unknown widget 'middle' (valid: left, right)");
+    EXPECT_FALSE(reg.contains("middle"));
+    EXPECT_TRUE(reg.contains("right"));
+}
+
+TEST(Registry, DescribeAlignsEntries)
+{
+    Registry<CountFactory> reg("widget");
+    reg.add("x", "short name", [] { return 0; });
+    reg.add("longer", "long name", [] { return 1; });
+    std::string text = reg.describe();
+    EXPECT_NE(text.find("  x       short name\n"), std::string::npos);
+    EXPECT_NE(text.find("  longer  long name\n"), std::string::npos);
+}
+
+// ---- built-in policy registries -------------------------------------------
+
+TEST(PolicyRegistries, BuiltinsRegisteredInEnumOrder)
+{
+    EXPECT_EQ(sim::schedulerRegistry().names(),
+              (std::vector<std::string>{ "LRR", "GTO", "RBA" }));
+    EXPECT_EQ(sim::assignerRegistry().names(),
+              (std::vector<std::string>{ "RR", "SRR", "Shuffle",
+                                         "HashSRR", "HashShuffle" }));
+}
+
+TEST(PolicyRegistries, FactoriesBuildTheRegisteredPolicy)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    auto sched = sim::schedulerRegistry().lookup("GTO")(cfg);
+    ASSERT_NE(sched, nullptr);
+    AssignerContext ctx;
+    ctx.numSubcores = 4;
+    ctx.seed = 7;
+    auto assigner = sim::assignerRegistry().lookup("SRR")(cfg, ctx);
+    ASSERT_NE(assigner, nullptr);
+    EXPECT_EQ(assigner->numSubcores(), 4);
+    // SRR: subcore = (W + floor(W/N)) mod N.
+    EXPECT_EQ(assigner->nextSubcore(), 0);
+    EXPECT_EQ(assigner->nextSubcore(), 1);
+    EXPECT_EQ(assigner->nextSubcore(), 2);
+    EXPECT_EQ(assigner->nextSubcore(), 3);
+    EXPECT_EQ(assigner->nextSubcore(), 1);
+}
+
+TEST(PolicyRegistries, UnknownPolicyNameThrowsConfigError)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    EXPECT_THROW_WITH(sim::schedulerRegistry().lookup("FIFO")(cfg),
+                      ConfigError, "unknown scheduler 'FIFO'");
+}
+
+// ---- design catalogue ------------------------------------------------------
+
+TEST(DesignCatalog, AllDesignsOrderStable)
+{
+    // The catalogue order is part of the figure / manifest contract:
+    // Baseline first, then the paper's Section IV points, then the
+    // comparison points.
+    std::vector<std::string> names;
+    for (Design d : runner::allDesigns())
+        names.push_back(runner::toString(d));
+    EXPECT_EQ(names,
+              (std::vector<std::string>{
+                  "Baseline", "RBA", "SRR", "Shuffle", "Shuffle+RBA",
+                  "Fully-Connected", "FC+RBA", "BankStealing", "4 CUs",
+                  "8 CUs", "16 CUs" }));
+    EXPECT_EQ(runner::designCatalog().size(), names.size());
+}
+
+TEST(DesignCatalog, ParseAcceptsDisplayNamesAndAliases)
+{
+    EXPECT_EQ(runner::parseDesign("Shuffle+RBA"), Design::ShuffleRBA);
+    EXPECT_EQ(runner::parseDesign("ShuffleRBA"), Design::ShuffleRBA);
+    EXPECT_EQ(runner::parseDesign("FC"), Design::FullyConnected);
+    EXPECT_EQ(runner::parseDesign("FCRBA"), Design::FullyConnectedRBA);
+    EXPECT_EQ(runner::parseDesign("Cus16"), Design::Cus16);
+    EXPECT_EQ(runner::parseDesign("16 CUs"), Design::Cus16);
+}
+
+TEST(DesignCatalog, ParseUnknownThrowsConfigErrorListingNames)
+{
+    EXPECT_THROW_WITH(runner::parseDesign("Turbo"), ConfigError,
+                      "unknown design 'Turbo' (valid: Baseline");
+}
+
+TEST(DesignCatalog, OverlaysMatchTheSeedSemantics)
+{
+    GpuConfig base = GpuConfig::volta();
+    GpuConfig rba = runner::applyDesign(base, Design::RBA);
+    EXPECT_EQ(rba.scheduler, SchedulerPolicy::RBA);
+    EXPECT_EQ(rba.assign, base.assign);
+
+    GpuConfig fc = runner::designConfig(base, "Fully-Connected");
+    EXPECT_EQ(fc.subCores, 1);
+    EXPECT_EQ(fc.scheduler, base.scheduler);
+
+    GpuConfig cus8 = runner::designConfig(base, "Cus8");
+    // CU scaling multiplies against the *base* sub-core count.
+    EXPECT_EQ(cus8.collectorUnitsPerSm, 8 * base.subCores);
+    EXPECT_EQ(cus8.subCores, base.subCores);
+
+    GpuConfig steal = runner::designConfig(base, "BankStealing");
+    EXPECT_TRUE(steal.bankStealing);
+}
+
+// ---- SimEngine facade -----------------------------------------------------
+
+KernelDesc
+microWorkload(const std::string &name)
+{
+    if (name == "fma-unbalanced")
+        return makeFmaMicro(FmaLayout::Unbalanced, 512, 8);
+    if (name == "imbalance:4")
+        return makeImbalanceMicro(4.0, 256, 8);
+    if (name == "conflict:0")
+        return makeConflictMicro(0, 512, 4);
+    ADD_FAILURE() << "unknown micro workload " << name;
+    return {};
+}
+
+GpuConfig
+goldenBase()
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    return cfg;
+}
+
+TEST(SimEngine, RejectsInvalidConfigAtConstruction)
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.subCores = 3;   // must divide schedulersPerSm
+    EXPECT_THROW(SimEngine{ cfg }, ConfigError);
+}
+
+TEST(SimEngine, ObserversFireAroundEachRun)
+{
+    SimEngine engine(goldenBase());
+    int starts = 0, ends = 0;
+    std::uint64_t seenCycles = 0;
+    sim::EngineObserver obs;
+    obs.onRunStart = [&](const GpuConfig &cfg, const Application &app) {
+        ++starts;
+        EXPECT_EQ(cfg.numSms, 2);
+        EXPECT_FALSE(app.kernels.empty());
+    };
+    obs.onRunEnd = [&](const Application &, const SimStats &s) {
+        ++ends;
+        seenCycles = s.cycles;
+    };
+    engine.addObserver(std::move(obs));
+
+    SimStats s = engine.run(microWorkload("conflict:0"));
+    EXPECT_EQ(starts, 1);
+    EXPECT_EQ(ends, 1);
+    EXPECT_EQ(seenCycles, s.cycles);
+    engine.run(microWorkload("conflict:0"));
+    EXPECT_EQ(starts, 2);
+    EXPECT_EQ(ends, 2);
+}
+
+TEST(SimEngine, FingerprintSeparatesBehaviors)
+{
+    SimStats a = SimEngine(goldenBase()).run(microWorkload("conflict:0"));
+    SimStats b = SimEngine(goldenBase()).run(microWorkload("conflict:0"));
+    EXPECT_EQ(sim::statsFingerprint(a), sim::statsFingerprint(b))
+        << "same config + workload must be deterministic";
+    SimStats c = SimEngine(goldenBase()).run(
+        microWorkload("fma-unbalanced"));
+    EXPECT_NE(sim::statsFingerprint(a), sim::statsFingerprint(c));
+    EXPECT_EQ(sim::statsFingerprintHex(a).size(), 16u);
+}
+
+// ---- golden equivalence matrix --------------------------------------------
+
+/** design name -> workload name -> seed fingerprint (hex). */
+std::map<std::string, std::map<std::string, std::string>>
+loadGoldens()
+{
+    std::ifstream in(SCSIM_ENGINE_GOLDENS);
+    EXPECT_TRUE(in.good()) << "missing goldens: " SCSIM_ENGINE_GOLDENS;
+    std::map<std::string, std::map<std::string, std::string>> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string design, workload, hex;
+        std::getline(ls, design, '\t');
+        std::getline(ls, workload, '\t');
+        std::getline(ls, hex, '\t');
+        out[design][workload] = hex;
+    }
+    return out;
+}
+
+TEST(EngineEquivalence, RegistryPathMatchesSeedFingerprints)
+{
+    auto goldens = loadGoldens();
+    ASSERT_EQ(goldens.size(), runner::designCatalog().size())
+        << "golden file must cover every design point";
+
+    const char *workloads[] = { "fma-unbalanced", "imbalance:4",
+                                "conflict:0" };
+    GpuConfig base = goldenBase();
+    for (Design d : runner::allDesigns()) {
+        std::string name = runner::toString(d);
+        ASSERT_TRUE(goldens.count(name)) << "no goldens for " << name;
+        for (const char *w : workloads) {
+            SimEngine engine(runner::designConfig(base, name));
+            SimStats s = engine.run(microWorkload(w));
+            EXPECT_EQ(sim::statsFingerprintHex(s), goldens[name][w])
+                << "design '" << name << "' workload '" << w
+                << "' diverged from seed behavior";
+        }
+    }
+}
+
+} // namespace
+} // namespace scsim

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Simulator-throughput smoke: run the perf_simulator microbenchmarks
+# that track end-to-end simulation speed (the FMA micro and one suite
+# app) and append the measured rates to BENCH_perf.json at the repo
+# root, so the throughput trajectory is visible per-PR.
+#
+# Usage: tools/perf_smoke.sh [path/to/perf_simulator] [label]
+#   perf_simulator default: build/bench/perf_simulator
+#   label default:          current git short hash (or "untracked")
+#
+# Appends one record per invocation:
+#   { "label": ..., "date": ..., "fma_sim_cycles_per_s": ...,
+#     "fma_ms": ..., "suite_ms": ... }
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="${1:-$repo_root/build/bench/perf_simulator}"
+label="${2:-$(git -C "$repo_root" rev-parse --short HEAD \
+    2>/dev/null || echo untracked)}"
+out="$repo_root/BENCH_perf.json"
+
+if [ ! -x "$bin" ]; then
+    echo "perf_smoke: $bin not built (cmake --build build)" >&2
+    exit 1
+fi
+
+json="$("$bin" \
+    --benchmark_filter='BM_FmaMicroSim|BM_SuiteAppSim' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json)"
+
+[ -s "$out" ] || echo "[]" > "$out"
+
+RECORD_JSON="$json" RECORD_LABEL="$label" RECORD_OUT="$out" \
+python3 - <<'EOF'
+import json, os, time
+
+bench = json.loads(os.environ["RECORD_JSON"])["benchmarks"]
+means = {b["name"]: b for b in bench if b.get("aggregate_name") == "mean"}
+fma = means["BM_FmaMicroSim_mean"]
+suite = means["BM_SuiteAppSim_mean"]
+
+record = {
+    "label": os.environ["RECORD_LABEL"],
+    "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "fma_sim_cycles_per_s": round(fma["sim_cycles/s"], 1),
+    "fma_ms": round(fma["real_time"], 3),
+    "suite_ms": round(suite["real_time"], 3),
+}
+
+path = os.environ["RECORD_OUT"]
+with open(path) as f:
+    trajectory = json.load(f)
+trajectory.append(record)
+with open(path, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+
+print("perf_smoke: FMA %.0f sim_cycles/s (%.2f ms), suite %.2f ms"
+      % (record["fma_sim_cycles_per_s"], record["fma_ms"],
+         record["suite_ms"]))
+EOF

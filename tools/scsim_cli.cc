@@ -20,6 +20,8 @@
  *                  reads an scsim-job record on stdin, writes an
  *                  scsim-jobres record on stdout)
  *   scsim_cli list [--suite parboil]
+ *   scsim_cli list-designs       (design points + config overlays)
+ *   scsim_cli list-policies      (scheduler / assignment registries)
  *   scsim_cli dump --app cg-lou --out cg-lou.sctrace [--scale 0.5]
  *   scsim_cli info [--set key=value ...]
  *
@@ -50,8 +52,9 @@
 
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
-#include "gpu/gpu_sim.hh"
 #include "runner/design.hh"
+#include "sim/engine.hh"
+#include "sim/registry.hh"
 #include "runner/job_key.hh"
 #include "runner/report.hh"
 #include "runner/sweep_engine.hh"
@@ -77,8 +80,8 @@ parseArgs(int argc, char **argv)
     Args args;
     if (argc < 2)
         scsim_fatal(
-            "usage: scsim_cli <run|sweep|run-job|list|dump|info> "
-            "[options]");
+            "usage: scsim_cli <run|sweep|run-job|list|list-designs|"
+            "list-policies|dump|info> [options]");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string flag = argv[i];
@@ -174,9 +177,10 @@ cmdRun(const Args &args)
 {
     GpuConfig cfg = configFor(args);
     Application app = workloadFor(args);
-    GpuSim sim(cfg);
+    sim::SimEngine engine(cfg);
     bool concurrent = args.options.count("concurrent") > 0;
-    SimStats s = concurrent ? sim.runConcurrent(app) : sim.run(app);
+    SimStats s = concurrent ? engine.runConcurrent(app)
+                            : engine.run(app);
 
     std::printf("app                : %s (%zu kernel%s%s)\n",
                 app.name.c_str(), app.kernels.size(),
@@ -280,7 +284,18 @@ cmdSweep(const Args &args)
             designs = allDesigns();
         } else {
             for (const std::string &name : splitList(it->second)) {
-                Design d = parseDesign(name);
+                Design d;
+                try {
+                    d = parseDesign(name);
+                } catch (const ConfigError &e) {
+                    // Unknown name: print the menu, not a stack trace.
+                    std::fprintf(stderr, "fatal: %s\n"
+                                 "available designs:\n", e.what());
+                    for (const DesignInfo &info : designCatalog())
+                        std::fprintf(stderr, "  %-16s %s\n", info.name,
+                                     info.description);
+                    return 1;
+                }
                 if (d != Design::Baseline)
                     designs.push_back(d);
             }
@@ -423,10 +438,8 @@ cmdRunJob()
     r.key = jobKey(job);
     auto start = std::chrono::steady_clock::now();
     try {
-        Application app = buildApp(job.app, job.salt);
-        GpuSim sim(job.cfg);
-        r.stats = job.concurrent ? sim.runConcurrent(app)
-                                 : sim.run(app);
+        sim::SimEngine engine(job.cfg);
+        r.stats = engine.runApp(job.app, job.salt, job.concurrent);
         r.status = JobStatus::Ok;
     } catch (const HangError &e) {
         r.stats = SimStats{};
@@ -468,6 +481,51 @@ cmdList(const Args &args)
                     a.name.c_str(), a.numBlocks, a.warpsPerBlock,
                     a.numKernels);
     }
+    return 0;
+}
+
+/** `list-designs`: the design catalogue with its config overlays. */
+int
+cmdListDesigns()
+{
+    using namespace scsim::runner;
+
+    for (const DesignInfo &info : designCatalog()) {
+        std::string delta;
+        const DesignOverlay &o = info.overlay;
+        auto append = [&](const std::string &part) {
+            if (!delta.empty())
+                delta += ", ";
+            delta += part;
+        };
+        if (o.scheduler)
+            append(std::string("scheduler=") + toString(*o.scheduler));
+        if (o.assign)
+            append(std::string("assign=") + toString(*o.assign));
+        if (o.subCores)
+            append("subCores=" + std::to_string(*o.subCores));
+        if (o.bankStealing)
+            append("bankStealing=1");
+        if (o.cusPerSubcore)
+            append("CUs/sub-core=" + std::to_string(*o.cusPerSubcore));
+        if (delta.empty())
+            delta = "(baseline)";
+        std::printf("%-16s %-52s [%s]\n", info.name,
+                    info.description, delta.c_str());
+        if (info.aliases[0] != '\0')
+            std::printf("%-16s   aliases: %s\n", "", info.aliases);
+    }
+    return 0;
+}
+
+/** `list-policies`: the scheduler and assignment registries. */
+int
+cmdListPolicies()
+{
+    std::printf("warp schedulers:\n%s",
+                sim::schedulerRegistry().describe().c_str());
+    std::printf("assignment policies:\n%s",
+                sim::assignerRegistry().describe().c_str());
     return 0;
 }
 
@@ -521,12 +579,17 @@ main(int argc, char **argv)
             return cmdRunJob();
         if (args.command == "list")
             return cmdList(args);
+        if (args.command == "list-designs")
+            return cmdListDesigns();
+        if (args.command == "list-policies")
+            return cmdListPolicies();
         if (args.command == "dump")
             return cmdDump(args);
         if (args.command == "info")
             return cmdInfo(args);
         scsim_fatal("unknown command '%s' (try run/sweep/run-job/"
-                    "list/dump/info)", args.command.c_str());
+                    "list/list-designs/list-policies/dump/info)",
+                    args.command.c_str());
     } catch (const HangError &e) {
         std::fprintf(stderr, "fatal: %s\n%s", e.what(),
                      e.diagnostic().c_str());
