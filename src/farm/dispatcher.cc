@@ -1,0 +1,233 @@
+#include "farm/dispatcher.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "runner/isolated_run.hh"
+#include "runner/job_key.hh"
+
+namespace scsim::farm {
+
+using runner::JobResult;
+using runner::JobStatus;
+
+Dispatcher::Dispatcher(Options opts, Completion onComplete)
+    : opts_(std::move(opts)), onComplete_(std::move(onComplete)),
+      cache_(opts_.cacheDir, opts_.cacheMaxBytes)
+{
+    int n = std::max(1, opts_.workers);
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+Dispatcher::~Dispatcher()
+{
+    stop();
+}
+
+void
+Dispatcher::stop()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Dispatcher::enqueue(std::uint64_t sweepId, std::size_t index,
+                    const runner::SimJob &job)
+{
+    Queued q{ sweepId, index, job, runner::jobKey(job),
+              job.expectedCost() };
+    {
+        std::lock_guard lock(mutex_);
+        ready_.push_back(std::move(q));
+        std::push_heap(ready_.begin(), ready_.end(),
+                       [](const Queued &a, const Queued &b) {
+                           return a.cost < b.cost;
+                       });
+    }
+    cv_.notify_one();
+}
+
+bool
+Dispatcher::claim(Queued &out)
+{
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        // On stop, unclaimed jobs are abandoned (the journal has the
+        // finished ones; --resume picks up the rest), so a shutdown
+        // waits only for in-flight work.
+        if (stopping_)
+            return false;
+        // Steal the costliest job whose key is not already being
+        // computed; duplicates of an in-flight key are parked and
+        // completed from that computation when it lands.
+        while (!ready_.empty()) {
+            std::pop_heap(ready_.begin(), ready_.end(),
+                          [](const Queued &a, const Queued &b) {
+                              return a.cost < b.cost;
+                          });
+            Queued q = std::move(ready_.back());
+            ready_.pop_back();
+            if (inFlightKeys_.count(q.key)) {
+                parked_[q.key].push_back(std::move(q));
+                ++parkedCount_;
+                continue;
+            }
+            inFlightKeys_.insert(q.key);
+            ++inFlight_;
+            ++busy_;
+            out = std::move(q);
+            return true;
+        }
+        cv_.wait(lock);
+    }
+}
+
+void
+Dispatcher::finish(Queued q, JobResult r)
+{
+    std::vector<Queued> waiters;
+    {
+        std::lock_guard lock(mutex_);
+        inFlightKeys_.erase(q.key);
+        --inFlight_;
+        --busy_;
+        if (auto it = parked_.find(q.key); it != parked_.end()) {
+            waiters = std::move(it->second);
+            parked_.erase(it);
+            parkedCount_ -= waiters.size();
+            coalesced_ += waiters.size();
+        }
+        auto account = [&](const JobResult &res) {
+            ++completed_;
+            if (res.status == JobStatus::Failed
+                || res.status == JobStatus::Hang)
+                ++failed_;
+            else if (res.status == JobStatus::Crashed)
+                ++crashed_;
+        };
+        account(r);
+        for (std::size_t i = 0; i < waiters.size(); ++i)
+            account(r);
+    }
+
+    // A parked duplicate is served from the just-landed computation:
+    // semantically a cache hit (same key, same bytes), so it is
+    // recorded as one.
+    for (Queued &w : waiters) {
+        JobResult dup = r;
+        dup.key = w.key;
+        if (dup.ok()) {
+            dup.status = JobStatus::Cached;
+            dup.cached = true;
+            dup.wallMs = 0.0;
+            dup.attempts = 0;
+        }
+        onComplete_(w.sweepId, w.index, std::move(dup));
+    }
+    onComplete_(q.sweepId, q.index, std::move(r));
+}
+
+void
+Dispatcher::workerLoop()
+{
+    Queued q;
+    while (claim(q)) {
+        JobResult r;
+        r.key = q.key;
+
+        bool hit = false;
+        try {
+            hit = cache_.lookup(r.key, r.stats);
+        } catch (const CacheError &e) {
+            scsim_warn("farm cache lookup for '%s' failed, treating "
+                       "as miss: %s", q.job.tag.c_str(), e.what());
+        }
+        if (hit) {
+            r.status = JobStatus::Cached;
+            r.cached = true;
+        } else {
+            runner::IsolatedRunOptions iso;
+            iso.selfExe = opts_.selfExe;
+            iso.timeoutSec = opts_.jobTimeoutSec;
+            iso.attempts = opts_.crashAttempts;
+            auto start = std::chrono::steady_clock::now();
+            runJobIsolated(q.job, iso, r);
+            r.wallMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+            if (r.ok()) {
+                try {
+                    cache_.store(r.key, r.stats);
+                } catch (const CacheError &e) {
+                    scsim_warn("farm cache store for '%s' failed, "
+                               "result not cached: %s",
+                               q.job.tag.c_str(), e.what());
+                }
+            }
+        }
+        finish(std::move(q), std::move(r));
+    }
+}
+
+int
+Dispatcher::busyWorkers() const
+{
+    std::lock_guard lock(mutex_);
+    return busy_;
+}
+
+std::uint64_t
+Dispatcher::queueDepth() const
+{
+    std::lock_guard lock(mutex_);
+    return ready_.size() + parkedCount_;
+}
+
+std::uint64_t
+Dispatcher::inFlight() const
+{
+    std::lock_guard lock(mutex_);
+    return inFlight_;
+}
+
+std::uint64_t
+Dispatcher::completed() const
+{
+    std::lock_guard lock(mutex_);
+    return completed_;
+}
+
+std::uint64_t
+Dispatcher::failedJobs() const
+{
+    std::lock_guard lock(mutex_);
+    return failed_;
+}
+
+std::uint64_t
+Dispatcher::crashedJobs() const
+{
+    std::lock_guard lock(mutex_);
+    return crashed_;
+}
+
+std::uint64_t
+Dispatcher::coalesced() const
+{
+    std::lock_guard lock(mutex_);
+    return coalesced_;
+}
+
+} // namespace scsim::farm

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The farm's job dispatcher: a shared, work-stealing worker pool over
+ * crash-isolated subprocesses.
+ *
+ * Every submitted sweep contributes its jobs to one ready pool
+ * ordered longest-expected-first; the N worker threads steal the
+ * costliest runnable job regardless of which sweep (or client) it
+ * came from, so a small interactive submission is never serialized
+ * behind a big batch, and the tail of every sweep shortens.  Each
+ * claimed job runs through runner/runJobIsolated(): its own `run-job`
+ * subprocess, wall-clock deadline with SIGTERM -> SIGKILL escalation,
+ * spawn retries with doubling backoff — a SIGKILL'd worker's job is
+ * respawned, not lost, and a deterministic crash is recorded as
+ * JobStatus::Crashed after its attempts run out.  That containment
+ * contract (PR2/PR3) is the farm's SLO story: one poisoned job
+ * degrades one result, never the daemon.
+ *
+ * Deduplication: results flow through the shared content-addressed
+ * ResultCache, so identical configs across clients are computed once.
+ * A claimed job whose key is already *in flight* is parked instead of
+ * run; when the computation lands, every parked duplicate is
+ * completed from it (counted as coalesced).  A key that already
+ * finished is a plain cache hit.
+ *
+ * Threading: enqueue() and the completion callback may race with the
+ * workers; the callback is invoked from worker threads and must do
+ * its own synchronization (the server pushes to a queue and wakes its
+ * poll loop).
+ */
+
+#ifndef SCSIM_FARM_DISPATCHER_HH
+#define SCSIM_FARM_DISPATCHER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runner/job_result.hh"
+#include "runner/result_cache.hh"
+#include "runner/sweep_spec.hh"
+
+namespace scsim::farm {
+
+class Dispatcher
+{
+  public:
+    struct Options
+    {
+        int workers = 4;          //!< worker threads (>= 1)
+        std::string selfExe;      //!< run-job binary; empty = self
+        double jobTimeoutSec = 0; //!< per-job deadline; 0 = none
+        int crashAttempts = 3;    //!< spawns before a crash is final
+        std::string cacheDir;     //!< shared result cache; "" = memory
+        std::uint64_t cacheMaxBytes = 0;  //!< disk cap; 0 = unbounded
+    };
+
+    /** Called (from a worker thread) once per enqueued job. */
+    using Completion = std::function<void(
+        std::uint64_t sweepId, std::size_t index,
+        runner::JobResult result)>;
+
+    Dispatcher(Options opts, Completion onComplete);
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /** Add one job; the completion fires exactly once for it. */
+    void enqueue(std::uint64_t sweepId, std::size_t index,
+                 const runner::SimJob &job);
+
+    /** Stop claiming; finish in-flight jobs; join the workers. */
+    void stop();
+
+    runner::ResultCache &cache() { return cache_; }
+
+    // ---- introspection (thread-safe) ----------------------------------
+    int workers() const { return static_cast<int>(threads_.size()); }
+    int busyWorkers() const;
+    std::uint64_t queueDepth() const;  //!< ready + parked duplicates
+    std::uint64_t inFlight() const;
+    std::uint64_t completed() const;
+    std::uint64_t failedJobs() const;   //!< Failed + Hang
+    std::uint64_t crashedJobs() const;
+    std::uint64_t coalesced() const;
+
+  private:
+    struct Queued
+    {
+        std::uint64_t sweepId;
+        std::size_t index;
+        runner::SimJob job;
+        std::uint64_t key;
+        double cost;
+    };
+
+    void workerLoop();
+    bool claim(Queued &out);
+    void finish(Queued q, runner::JobResult r);
+
+    Options opts_;
+    Completion onComplete_;
+    runner::ResultCache cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::vector<Queued> ready_;  //!< max-heap by cost
+    std::unordered_map<std::uint64_t, std::vector<Queued>> parked_;
+    std::unordered_set<std::uint64_t> inFlightKeys_;
+    std::uint64_t parkedCount_ = 0;
+    std::uint64_t inFlight_ = 0;
+    int busy_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t crashed_ = 0;
+    std::uint64_t coalesced_ = 0;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace scsim::farm
+
+#endif // SCSIM_FARM_DISPATCHER_HH

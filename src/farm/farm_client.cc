@@ -1,0 +1,184 @@
+#include "farm/farm_client.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "runner/job_key.hh"
+
+namespace scsim::farm {
+
+using runner::JobResult;
+using runner::JobStatus;
+using runner::SweepResult;
+using runner::SweepSpec;
+using runner::WireDecode;
+
+FarmClient::FarmClient(Fd fd) : fd_(std::move(fd))
+{
+    sendFrame(serializeHello(localHello("client")));
+    std::string frame = readFrame();
+    requireRecord(parseHello(frame, server_), frame, "server hello");
+    requireCompatibleHello(server_);
+}
+
+FarmClient
+FarmClient::connectUnixSocket(const std::string &path)
+{
+    return FarmClient(connectUnix(path));
+}
+
+FarmClient
+FarmClient::connectTcpPort(int port)
+{
+    return FarmClient(connectTcp(port));
+}
+
+void
+FarmClient::sendFrame(const std::string &frame)
+{
+    if (!sendAll(fd_.get(), runner::envelopeFrame(frame)))
+        scsim_throw(SimError, "daemon connection lost while sending");
+}
+
+std::string
+FarmClient::readFrame()
+{
+    std::string frame;
+    for (;;) {
+        if (in_.next(frame))
+            break;
+        if (in_.corrupt())
+            scsim_throw(ConfigError,
+                        "transport corruption from daemon: stream is "
+                        "not a sequence of enveloped farm frames");
+        std::string chunk;
+        long n = readSome(fd_.get(), chunk);
+        if (n == 0)
+            scsim_throw(SimError,
+                        "daemon closed the connection mid-conversation");
+        if (n < 0)
+            scsim_throw(SimError, "read from daemon failed");
+        in_.feed(chunk);
+    }
+
+    // A daemon-side rejection arrives as an error record wherever a
+    // reply was expected; surface it as the user-level error it is.
+    runner::FrameHeader hdr;
+    if (runner::peekFrameHeader(frame, hdr)
+        && hdr.magic == kErrorMagic) {
+        ErrorMsg err;
+        requireRecord(parseError(frame, err), frame, "daemon error");
+        scsim_throw(ConfigError, "daemon: %s", err.message.c_str());
+    }
+    return frame;
+}
+
+AcceptMsg
+FarmClient::sendSubmit(const SweepSpec &spec, const std::string &name,
+                       bool detach, bool resume)
+{
+    SubmitMsg msg;
+    msg.name = name;
+    msg.detach = detach;
+    msg.resume = resume;
+    msg.spec = spec;
+    sendFrame(serializeSubmit(msg));
+
+    std::string frame = readFrame();
+    AcceptMsg accept;
+    requireRecord(parseAccept(frame, accept), frame, "accept");
+    if (accept.jobCount != spec.jobs.size())
+        scsim_throw(ConfigError,
+                    "daemon accepted %llu jobs for a %zu-job spec",
+                    static_cast<unsigned long long>(accept.jobCount),
+                    spec.jobs.size());
+    return accept;
+}
+
+SweepResult
+FarmClient::submit(const SweepSpec &spec, const std::string &name,
+                   bool resume, const ProgressFn &onJob)
+{
+    auto start = std::chrono::steady_clock::now();
+    sendSubmit(spec, name, /*detach=*/false, resume);
+
+    SweepResult out;
+    out.tags.reserve(spec.jobs.size());
+    for (const runner::SimJob &job : spec.jobs)
+        out.tags.push_back(job.tag);
+    out.results.resize(spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        out.results[i].key = runner::jobKey(spec.jobs[i]);
+
+    std::vector<char> seen(spec.jobs.size(), 0);
+    std::size_t received = 0;
+    for (;;) {
+        std::string frame = readFrame();
+        runner::FrameHeader hdr;
+        if (!runner::peekFrameHeader(frame, hdr))
+            scsim_throw(ConfigError,
+                        "unparsable record from daemon (%zu bytes)",
+                        frame.size());
+        if (hdr.magic == kJobDoneMagic) {
+            JobDoneMsg done;
+            requireRecord(parseJobDone(frame, done), frame, "jobdone");
+            if (done.index >= spec.jobs.size())
+                scsim_throw(ConfigError,
+                            "daemon reported job %llu of a %zu-job "
+                            "sweep",
+                            static_cast<unsigned long long>(done.index),
+                            spec.jobs.size());
+            if (onJob)
+                onJob(done);
+            std::size_t i = static_cast<std::size_t>(done.index);
+            if (!seen[i]) {
+                seen[i] = 1;
+                ++received;
+            }
+            out.results[i] = std::move(done.result);
+            continue;
+        }
+        if (hdr.magic == kSweepDoneMagic) {
+            SweepDoneMsg fin;
+            requireRecord(parseSweepDone(frame, fin), frame,
+                          "sweepdone");
+            if (received != spec.jobs.size())
+                scsim_throw(ConfigError,
+                            "daemon finished the sweep after %zu of "
+                            "%zu results",
+                            received, spec.jobs.size());
+            out.executed = fin.executed;
+            out.cacheHits = fin.cacheHits;
+            out.failed = fin.failed;
+            out.resumed = fin.resumed;
+            break;
+        }
+        scsim_throw(ConfigError,
+                    "unexpected %s record while streaming results",
+                    hdr.magic.c_str());
+    }
+
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return out;
+}
+
+AcceptMsg
+FarmClient::submitDetached(const SweepSpec &spec,
+                           const std::string &name, bool resume)
+{
+    return sendSubmit(spec, name, /*detach=*/true, resume);
+}
+
+FarmStatus
+FarmClient::status()
+{
+    sendFrame(serializeStatusReq());
+    std::string frame = readFrame();
+    FarmStatus st;
+    requireRecord(parseStatus(frame, st), frame, "status");
+    return st;
+}
+
+} // namespace scsim::farm

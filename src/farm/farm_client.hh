@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Client side of the sweep farm: connect, shake hands, submit a
+ * SweepSpec, and reassemble the streamed results into exactly the
+ * SweepResult a local SweepEngine::run would have returned — which is
+ * what makes `scsim_cli submit`'s manifests byte-identical to a local
+ * `sweep` run's.
+ *
+ * All I/O is blocking; the daemon streams one scsim-jobdone per
+ * finished job (the per-job progress event) and the client surfaces
+ * each through an optional callback before folding it into the result.
+ * An scsim-error from the daemon is rethrown here as ConfigError with
+ * the daemon's message; a protocol-version-skewed record throws a
+ * ConfigError naming both versions (see protocol.hh).
+ */
+
+#ifndef SCSIM_FARM_FARM_CLIENT_HH
+#define SCSIM_FARM_FARM_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "farm/protocol.hh"
+#include "farm/socket.hh"
+#include "runner/sweep_engine.hh"
+#include "runner/wire.hh"
+
+namespace scsim::farm {
+
+class FarmClient
+{
+  public:
+    /** Connect + hello handshake; throws SimError/ConfigError. */
+    static FarmClient connectUnixSocket(const std::string &path);
+    static FarmClient connectTcpPort(int port);
+
+    /** Per-job progress: fired for every streamed jobdone, in
+     *  completion order, before it is folded into the SweepResult. */
+    using ProgressFn = std::function<void(const JobDoneMsg &)>;
+
+    /**
+     * Submit @p spec and block until the sweep completes, returning
+     * the assembled SweepResult (parallel to spec.jobs, like a local
+     * run).  @p resume asks the daemon to adopt this spec's journal.
+     */
+    runner::SweepResult submit(const runner::SweepSpec &spec,
+                               const std::string &name, bool resume,
+                               const ProgressFn &onJob = {});
+
+    /** Fire-and-forget submission; returns the daemon's accept. */
+    AcceptMsg submitDetached(const runner::SweepSpec &spec,
+                             const std::string &name, bool resume);
+
+    /** One health snapshot from the daemon. */
+    FarmStatus status();
+
+    /** The server's hello (build/version info), for display. */
+    const HelloMsg &serverHello() const { return server_; }
+
+  private:
+    explicit FarmClient(Fd fd);
+
+    void sendFrame(const std::string &frame);
+    /** Next complete frame (blocking); throws SimError on EOF or
+     *  transport corruption, ConfigError on an scsim-error record. */
+    std::string readFrame();
+    AcceptMsg sendSubmit(const runner::SweepSpec &spec,
+                         const std::string &name, bool detach,
+                         bool resume);
+
+    Fd fd_;
+    runner::FrameAssembler in_;
+    HelloMsg server_;
+};
+
+} // namespace scsim::farm
+
+#endif // SCSIM_FARM_FARM_CLIENT_HH

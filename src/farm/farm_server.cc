@@ -1,0 +1,561 @@
+#include "farm/farm_server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <unordered_set>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "runner/job_key.hh"
+
+namespace scsim::farm {
+
+using runner::JobResult;
+using runner::JobStatus;
+using runner::WireDecode;
+
+FarmServer::FarmServer(FarmServerOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.socketPath.empty() && opts_.tcpPort < 0)
+        scsim_throw(SimError,
+                    "farm server needs a Unix socket path or a TCP "
+                    "port to listen on");
+    // Nonblocking listeners: acceptOn() drains every pending
+    // connection after a POLLIN and must get EAGAIN, not block, when
+    // the backlog is empty.
+    if (!opts_.socketPath.empty()) {
+        unixListener_ = listenUnix(opts_.socketPath);
+        setNonblocking(unixListener_.get());
+    }
+    if (opts_.tcpPort >= 0) {
+        tcpListener_ = listenTcp(opts_.tcpPort, tcpPort_);
+        setNonblocking(tcpListener_.get());
+    }
+
+    if (!opts_.stateDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.stateDir, ec);
+        if (ec)
+            scsim_throw(SimError, "cannot create state dir '%s': %s",
+                        opts_.stateDir.c_str(), ec.message().c_str());
+    }
+
+    int pipefd[2];
+    if (::pipe2(pipefd, O_CLOEXEC | O_NONBLOCK) != 0)
+        scsim_throw(SimError, "pipe2 failed: %s", std::strerror(errno));
+    wakeRead_ = pipefd[0];
+    wakeWrite_ = pipefd[1];
+
+    start_ = std::chrono::steady_clock::now();
+
+    Dispatcher::Options d;
+    d.workers = opts_.workers;
+    d.selfExe = opts_.selfExe;
+    d.jobTimeoutSec = opts_.jobTimeoutSec;
+    d.crashAttempts = opts_.crashAttempts;
+    d.cacheDir = opts_.cacheDir;
+    d.cacheMaxBytes = opts_.cacheMaxBytes;
+    dispatcher_ = std::make_unique<Dispatcher>(
+        std::move(d), [this](std::uint64_t sweepId, std::size_t index,
+                             JobResult r) {
+            onCompletion(sweepId, index, std::move(r));
+        });
+}
+
+FarmServer::~FarmServer()
+{
+    dispatcher_->stop();
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+    if (!opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+}
+
+void
+FarmServer::stop()
+{
+    stopRequested_.store(true, std::memory_order_relaxed);
+    // One byte to the wake pipe: the only other thing needed here,
+    // and the reason this is callable from a signal handler.
+    char c = 'q';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &c, 1);
+}
+
+void
+FarmServer::onCompletion(std::uint64_t sweepId, std::size_t index,
+                         JobResult r)
+{
+    {
+        std::lock_guard lock(completionsMutex_);
+        completions_.push_back(
+            CompletionEvent{ sweepId, index, std::move(r) });
+    }
+    char c = 'c';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &c, 1);
+}
+
+FarmServer::Session *
+FarmServer::sessionById(std::uint64_t id)
+{
+    for (auto &s : sessions_)
+        if (s->id == id)
+            return s.get();
+    return nullptr;
+}
+
+void
+FarmServer::sendFrame(Session &s, const std::string &frame)
+{
+    if (s.closing)
+        return;
+    s.out += runner::envelopeFrame(frame);
+    flushOut(s);
+}
+
+void
+FarmServer::flushOut(Session &s)
+{
+    while (!s.out.empty()) {
+        ssize_t n = ::send(s.fd.get(), s.out.data(), s.out.size(),
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            s.out.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;  // poll for POLLOUT
+        // Peer is gone; drop the backlog and let the loop reap us.
+        s.out.clear();
+        s.closing = true;
+        return;
+    }
+}
+
+void
+FarmServer::closeSession(std::uint64_t id)
+{
+    // A disconnected client's sweeps keep running detached; their
+    // results stay journaled for a later `submit --resume`.
+    for (auto &[sweepId, sw] : sweeps_)
+        if (sw.owner == id)
+            sw.owner = 0;
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [&](const auto &s) {
+                                       return s->id == id;
+                                   }),
+                    sessions_.end());
+}
+
+void
+FarmServer::acceptOn(Fd &listener)
+{
+    for (;;) {
+        int fd = ::accept(listener.get(), nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // EAGAIN or transient accept failure
+        }
+        setNonblocking(fd);
+        auto s = std::make_unique<Session>();
+        s->id = nextSessionId_++;
+        s->fd = Fd(fd);
+        sessions_.push_back(std::move(s));
+    }
+}
+
+void
+FarmServer::handleReadable(Session &s)
+{
+    std::string chunk;
+    long n = readSome(s.fd.get(), chunk);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+        s.closing = true;
+        s.out.clear();
+        return;
+    }
+    if (n < 0)
+        return;
+    s.in.feed(chunk);
+    std::string frame;
+    while (!s.closing && s.in.next(frame))
+        handleFrame(s, frame);
+    if (s.in.corrupt() && !s.closing) {
+        sendFrame(s, serializeError(
+                         "unrecoverable transport corruption: stream "
+                         "is not a sequence of enveloped farm frames"));
+        s.closing = true;
+    }
+}
+
+void
+FarmServer::handleFrame(Session &s, const std::string &frame)
+{
+    try {
+        runner::FrameHeader hdr;
+        if (!runner::peekFrameHeader(frame, hdr))
+            scsim_throw(ConfigError,
+                        "unparsable record header (%zu bytes)",
+                        frame.size());
+
+        if (!s.helloDone) {
+            HelloMsg peer;
+            requireRecord(parseHello(frame, peer), frame, "hello");
+            requireCompatibleHello(peer);
+            s.helloDone = true;
+            sendFrame(s, serializeHello(localHello("server")));
+            return;
+        }
+        if (hdr.magic == kSubmitMagic) {
+            SubmitMsg msg;
+            requireRecord(parseSubmit(frame, msg), frame, "submit");
+            handleSubmit(s, std::move(msg));
+            return;
+        }
+        if (hdr.magic == kStatusReqMagic) {
+            requireRecord(parseStatusReq(frame), frame,
+                          "status request");
+            sendFrame(s, serializeStatus(snapshot()));
+            return;
+        }
+        scsim_throw(ConfigError,
+                    "unexpected %s record (client must send submit or "
+                    "status-req after the handshake)",
+                    hdr.magic.c_str());
+    } catch (const SimError &e) {
+        sendFrame(s, serializeError(e.what()));
+        s.closing = true;
+    }
+}
+
+void
+FarmServer::handleSubmit(Session &s, SubmitMsg msg)
+{
+    // Same whole-spec validation as a local SweepEngine run: every
+    // duplicate tag and invalid config reported at once, before any
+    // job is queued.
+    {
+        std::string problems;
+        std::unordered_set<std::string> seen;
+        for (const runner::SimJob &job : msg.spec.jobs) {
+            if (!seen.insert(job.tag).second)
+                problems += detail::format(
+                    "  duplicate sweep tag '%s' (app '%s')\n",
+                    job.tag.c_str(), job.app.name.c_str());
+            try {
+                job.cfg.validate();
+            } catch (const ConfigError &e) {
+                problems += detail::format(
+                    "  job '%s' (app '%s'): %s\n", job.tag.c_str(),
+                    job.app.name.c_str(), e.what());
+            }
+        }
+        if (!problems.empty())
+            scsim_throw(ConfigError,
+                        "invalid sweep spec; no jobs were queued:\n%s",
+                        problems.c_str());
+    }
+
+    const std::uint64_t specHash = runner::sweepSpecHash(msg.spec);
+    const std::size_t jobCount = msg.spec.jobs.size();
+
+    ActiveSweep sw;
+    sw.id = nextSweepId_++;
+    sw.owner = msg.detach ? 0 : s.id;
+    sw.name = msg.name;
+    sw.specHash = specHash;
+    sw.tags.reserve(jobCount);
+    for (const runner::SimJob &job : msg.spec.jobs)
+        sw.tags.push_back(job.tag);
+    sw.pending = jobCount;
+
+    // Resume: adopt every intact record of this spec's journal.  The
+    // journal file is named by the spec hash, so a stale or foreign
+    // file simply fails the pinned-identity check and is ignored.
+    std::vector<char> adopted(jobCount, 0);
+    std::vector<JobResult> adoptedResults(jobCount);
+    std::string journalPath;
+    if (!opts_.stateDir.empty())
+        journalPath = opts_.stateDir + "/" + runner::keyToHex(specHash)
+            + ".journal";
+    if (msg.resume && !journalPath.empty()
+        && std::filesystem::exists(journalPath)) {
+        try {
+            runner::JournalContents j = runner::readJournal(journalPath);
+            if (j.specHash == specHash && j.jobCount == jobCount) {
+                for (runner::JournalRecord &rec : j.records) {
+                    if (rec.index >= jobCount
+                        || rec.tag != sw.tags[rec.index])
+                        continue;
+                    adopted[rec.index] = 1;
+                    adoptedResults[rec.index] = std::move(rec.result);
+                }
+            } else {
+                scsim_warn("journal '%s' pins a different sweep; "
+                           "resuming nothing", journalPath.c_str());
+            }
+        } catch (const CacheError &e) {
+            scsim_warn("cannot read journal '%s'; resuming nothing: %s",
+                       journalPath.c_str(), e.what());
+        }
+    }
+
+    // Fresh journal, re-seeded with the adopted records: rewriting
+    // scrubs any half-written tail a SIGKILL left behind.
+    if (!journalPath.empty()) {
+        try {
+            sw.journal = std::make_unique<runner::JournalWriter>(
+                journalPath, specHash, jobCount, /*fresh=*/true);
+        } catch (const CacheError &e) {
+            scsim_warn("cannot open journal '%s'; sweep will not be "
+                       "resumable: %s", journalPath.c_str(), e.what());
+        }
+    }
+
+    AcceptMsg accept;
+    accept.sweepId = sw.id;
+    accept.specHash = specHash;
+    accept.jobCount = jobCount;
+    for (std::size_t i = 0; i < jobCount; ++i)
+        if (adopted[i])
+            ++accept.adopted;
+    sendFrame(s, serializeAccept(accept));
+
+    if (!opts_.quiet)
+        std::fprintf(stderr,
+                     "farm: sweep %llu '%s': %zu jobs (%llu adopted)%s\n",
+                     static_cast<unsigned long long>(sw.id),
+                     sw.name.c_str(), jobCount,
+                     static_cast<unsigned long long>(accept.adopted),
+                     msg.detach ? " [detached]" : "");
+
+    auto [it, inserted] = sweeps_.emplace(sw.id, std::move(sw));
+    ActiveSweep &active = it->second;
+    (void)inserted;
+
+    for (std::size_t i = 0; i < jobCount; ++i) {
+        if (!adopted[i])
+            continue;
+        JobResult &r = adoptedResults[i];
+        if (active.journal) {
+            try {
+                active.journal->append(i, active.tags[i], r);
+            } catch (const CacheError &e) {
+                scsim_warn("journal append for '%s' failed; a resume "
+                           "would re-run it: %s",
+                           active.tags[i].c_str(), e.what());
+            }
+        }
+        if (r.status == JobStatus::Cached)
+            ++active.tally.cacheHits;
+        else
+            ++active.tally.executed;
+        if (!r.ok() && r.status != JobStatus::Skipped)
+            ++active.tally.failed;
+        ++active.tally.resumed;
+        --active.pending;
+        if (active.owner) {
+            JobDoneMsg done;
+            done.index = i;
+            done.adopted = true;
+            done.result = std::move(r);
+            if (Session *owner = sessionById(active.owner))
+                sendFrame(*owner, serializeJobDone(done));
+        }
+    }
+
+    for (std::size_t i = 0; i < jobCount; ++i)
+        if (!adopted[i])
+            dispatcher_->enqueue(active.id, i, msg.spec.jobs[i]);
+
+    finishSweepIfDone(active);
+}
+
+void
+FarmServer::finishSweepIfDone(ActiveSweep &sw)
+{
+    if (sw.pending != 0)
+        return;
+    if (sw.owner)
+        if (Session *owner = sessionById(sw.owner))
+            sendFrame(*owner, serializeSweepDone(sw.tally));
+    if (!opts_.quiet)
+        std::fprintf(
+            stderr,
+            "farm: sweep %llu '%s' done: %llu run, %llu cached, "
+            "%llu failed, %llu resumed\n",
+            static_cast<unsigned long long>(sw.id), sw.name.c_str(),
+            static_cast<unsigned long long>(sw.tally.executed),
+            static_cast<unsigned long long>(sw.tally.cacheHits),
+            static_cast<unsigned long long>(sw.tally.failed),
+            static_cast<unsigned long long>(sw.tally.resumed));
+    ++sweepsCompleted_;
+    sweeps_.erase(sw.id);
+}
+
+void
+FarmServer::drainCompletions()
+{
+    std::deque<CompletionEvent> batch;
+    {
+        std::lock_guard lock(completionsMutex_);
+        batch.swap(completions_);
+    }
+    for (CompletionEvent &ev : batch) {
+        auto it = sweeps_.find(ev.sweepId);
+        if (it == sweeps_.end())
+            continue;  // sweep already finished (cannot happen today)
+        ActiveSweep &sw = it->second;
+
+        // Journal before streaming: anything the client saw is on
+        // disk, so a daemon crash never loses an acknowledged job.
+        if (sw.journal) {
+            try {
+                sw.journal->append(ev.index, sw.tags[ev.index],
+                                   ev.result);
+            } catch (const CacheError &e) {
+                scsim_warn("journal append for '%s' failed; a resume "
+                           "would re-run it: %s",
+                           sw.tags[ev.index].c_str(), e.what());
+            }
+        }
+        if (ev.result.cached)
+            ++sw.tally.cacheHits;
+        else
+            ++sw.tally.executed;
+        if (!ev.result.ok()
+            && ev.result.status != JobStatus::Skipped)
+            ++sw.tally.failed;
+        --sw.pending;
+
+        if (sw.owner) {
+            JobDoneMsg done;
+            done.index = ev.index;
+            done.adopted = false;
+            done.result = std::move(ev.result);
+            if (Session *owner = sessionById(sw.owner))
+                sendFrame(*owner, serializeJobDone(done));
+        }
+        finishSweepIfDone(sw);
+    }
+}
+
+FarmStatus
+FarmServer::snapshot() const
+{
+    FarmStatus st;
+    st.build = buildVersion();
+    st.protocol = kFarmProtocolVersion;
+    st.uptimeMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    st.workers = dispatcher_->workers();
+    st.busyWorkers = dispatcher_->busyWorkers();
+    st.queueDepth = dispatcher_->queueDepth();
+    st.inFlight = dispatcher_->inFlight();
+    st.sessions = sessions_.size();
+    st.sweepsActive = sweeps_.size();
+    st.sweepsCompleted = sweepsCompleted_;
+    st.jobsCompleted = dispatcher_->completed();
+    st.jobsFailed = dispatcher_->failedJobs();
+    st.jobsCrashed = dispatcher_->crashedJobs();
+    st.jobsCoalesced = dispatcher_->coalesced();
+    runner::ResultCache &cache = dispatcher_->cache();
+    st.cacheHits = cache.hits();
+    st.cacheMisses = cache.misses();
+    st.cacheQuarantined = cache.quarantined();
+    st.cacheEvicted = cache.evicted();
+    st.cacheDiskBytes = cache.diskBytes();
+    st.cacheMaxBytes = cache.maxDiskBytes();
+    return st;
+}
+
+void
+FarmServer::run()
+{
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+        std::vector<struct pollfd> fds;
+        fds.push_back({ wakeRead_, POLLIN, 0 });
+        if (unixListener_.valid())
+            fds.push_back({ unixListener_.get(), POLLIN, 0 });
+        if (tcpListener_.valid())
+            fds.push_back({ tcpListener_.get(), POLLIN, 0 });
+        std::size_t firstSession = fds.size();
+        for (auto &s : sessions_) {
+            short events = s->closing ? 0 : POLLIN;
+            if (!s->out.empty())
+                events |= POLLOUT;
+            fds.push_back({ s->fd.get(), events, 0 });
+        }
+
+        int rc = ::poll(fds.data(), fds.size(), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            scsim_warn("farm poll failed: %s", std::strerror(errno));
+            break;
+        }
+
+        if (fds[0].revents & POLLIN) {
+            char buf[256];
+            while (::read(wakeRead_, buf, sizeof buf) > 0) {
+            }
+        }
+        drainCompletions();
+
+        std::size_t li = 1;
+        if (unixListener_.valid()) {
+            if (fds[li].revents & POLLIN)
+                acceptOn(unixListener_);
+            ++li;
+        }
+        if (tcpListener_.valid() && (fds[li].revents & POLLIN))
+            acceptOn(tcpListener_);
+
+        // Sessions may be added during this pass (never removed until
+        // the reap below), so iterate the snapshot we polled.
+        for (std::size_t k = firstSession; k < fds.size(); ++k) {
+            Session *s = nullptr;
+            for (auto &cand : sessions_)
+                if (cand->fd.get() == fds[k].fd) {
+                    s = cand.get();
+                    break;
+                }
+            if (!s)
+                continue;
+            if (fds[k].revents & POLLOUT)
+                flushOut(*s);
+            if (!s->closing
+                && (fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                handleReadable(*s);
+        }
+
+        std::vector<std::uint64_t> dead;
+        for (auto &s : sessions_)
+            if (s->closing && s->out.empty())
+                dead.push_back(s->id);
+        for (std::uint64_t id : dead)
+            closeSession(id);
+    }
+
+    // Shutdown: in-flight jobs finish (and get journaled below);
+    // unclaimed jobs are abandoned for `--resume`.
+    dispatcher_->stop();
+    drainCompletions();
+    for (auto &s : sessions_)
+        flushOut(*s);
+    sessions_.clear();
+}
+
+} // namespace scsim::farm

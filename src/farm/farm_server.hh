@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The sweep farm daemon behind `scsim_cli serve`.
+ *
+ * One poll() loop owns every socket: the Unix/TCP listeners, each
+ * client session, and a self-pipe the dispatcher's worker threads (and
+ * signal handlers) write to.  All protocol work — frame reassembly,
+ * submission validation, journal appends, result streaming — happens
+ * on this one thread, so sweeps, sessions and journals need no locks
+ * of their own; only the dispatcher's completion queue crosses the
+ * thread boundary.
+ *
+ * Sweep lifecycle: a submit is validated whole (exactly like a local
+ * SweepEngine run — every duplicate tag and invalid config reported at
+ * once, before any job runs), adopted from its spec-hash-pinned
+ * journal in the state directory when the client asked to resume,
+ * acknowledged with scsim-accept, and its remaining jobs handed to the
+ * shared dispatcher.  Every finished job is durably journaled before
+ * its scsim-jobdone is streamed, so a daemon crash or SIGKILL'd sweep
+ * resumes from the last fsync.  A client that disconnects mid-sweep
+ * detaches it — the jobs keep running and keep journaling, which is
+ * also exactly what `submit --detach` asks for from the start.
+ *
+ * Shutdown (stop(), async-signal-safe): in-flight jobs finish and are
+ * journaled; unclaimed jobs are abandoned for a later `--resume`.
+ */
+
+#ifndef SCSIM_FARM_FARM_SERVER_HH
+#define SCSIM_FARM_FARM_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "farm/dispatcher.hh"
+#include "farm/protocol.hh"
+#include "farm/socket.hh"
+#include "runner/journal.hh"
+#include "runner/wire.hh"
+
+namespace scsim::farm {
+
+struct FarmServerOptions
+{
+    std::string socketPath;  //!< Unix socket; empty = no Unix listener
+    int tcpPort = -1;        //!< loopback TCP; -1 = none, 0 = ephemeral
+
+    int workers = 4;
+    std::string cacheDir;            //!< shared result cache
+    std::uint64_t cacheMaxBytes = 0; //!< disk cap; 0 = unbounded
+
+    /** Journal directory (one `<spec-hash>.journal` per sweep spec);
+     *  empty disables journaling and `--resume`. */
+    std::string stateDir;
+
+    double jobTimeoutSec = 0.0;  //!< per-job deadline; 0 = none
+    int crashAttempts = 3;       //!< spawns before a crash is final
+    std::string selfExe;         //!< run-job binary; empty = self
+    bool quiet = false;          //!< suppress per-event inform lines
+};
+
+class FarmServer
+{
+  public:
+    /** Binds the listeners and starts the worker pool; throws
+     *  SimError when the socket path or port is unusable. */
+    explicit FarmServer(FarmServerOptions opts);
+    ~FarmServer();
+
+    FarmServer(const FarmServer &) = delete;
+    FarmServer &operator=(const FarmServer &) = delete;
+
+    /** Serve until stop(); returns after the workers are joined. */
+    void run();
+
+    /**
+     * Request shutdown.  Safe to call from any thread and from a
+     * signal handler (it only flips an atomic and writes one byte to
+     * the wake pipe).
+     */
+    void stop();
+
+    /** The TCP port actually bound (ephemeral resolution); -1 if none. */
+    int boundTcpPort() const { return tcpPort_; }
+
+    /** One consistent health snapshot (what scsim-status serves). */
+    FarmStatus snapshot() const;
+
+  private:
+    struct Session
+    {
+        std::uint64_t id = 0;
+        Fd fd;
+        runner::FrameAssembler in;
+        std::string out;          //!< bytes awaiting POLLOUT
+        bool helloDone = false;
+        bool closing = false;     //!< flush out, then close
+    };
+
+    struct ActiveSweep
+    {
+        std::uint64_t id = 0;
+        std::uint64_t owner = 0;  //!< session id; 0 = detached
+        std::string name;
+        std::uint64_t specHash = 0;
+        std::vector<std::string> tags;
+        std::uint64_t pending = 0;  //!< jobs not yet completed
+        SweepDoneMsg tally;
+        std::unique_ptr<runner::JournalWriter> journal;
+    };
+
+    struct CompletionEvent
+    {
+        std::uint64_t sweepId = 0;
+        std::size_t index = 0;
+        runner::JobResult result;
+    };
+
+    void onCompletion(std::uint64_t sweepId, std::size_t index,
+                      runner::JobResult r);
+    void drainCompletions();
+    void acceptOn(Fd &listener);
+    void handleReadable(Session &s);
+    void handleFrame(Session &s, const std::string &frame);
+    void handleSubmit(Session &s, SubmitMsg msg);
+    void finishSweepIfDone(ActiveSweep &sw);
+    void sendFrame(Session &s, const std::string &frame);
+    void flushOut(Session &s);
+    void closeSession(std::uint64_t id);
+    Session *sessionById(std::uint64_t id);
+
+    FarmServerOptions opts_;
+    Fd unixListener_;
+    Fd tcpListener_;
+    int tcpPort_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::atomic<bool> stopRequested_{ false };
+    std::chrono::steady_clock::time_point start_;
+
+    std::unique_ptr<Dispatcher> dispatcher_;
+    std::mutex completionsMutex_;
+    std::deque<CompletionEvent> completions_;
+
+    std::uint64_t nextSessionId_ = 1;
+    std::uint64_t nextSweepId_ = 1;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    std::map<std::uint64_t, ActiveSweep> sweeps_;
+    std::uint64_t sweepsCompleted_ = 0;
+};
+
+} // namespace scsim::farm
+
+#endif // SCSIM_FARM_FARM_SERVER_HH

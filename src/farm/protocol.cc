@@ -1,0 +1,577 @@
+#include "farm/protocol.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/text_escape.hh"
+#include "runner/job_key.hh"
+
+#ifndef SCSIM_VERSION
+#define SCSIM_VERSION "dev"
+#endif
+
+namespace scsim::farm {
+
+using runner::WireDecode;
+
+namespace {
+
+void
+putLine(std::string &out, const char *key, const std::string &value)
+{
+    out += key;
+    out += ' ';
+    out += value;
+    out += '\n';
+}
+
+void
+putU64(std::string &out, const char *key, std::uint64_t v)
+{
+    putLine(out, key, detail::format("%" PRIu64, v));
+}
+
+void
+putBool(std::string &out, const char *key, bool v)
+{
+    putLine(out, key, v ? "1" : "0");
+}
+
+std::string
+restOfLine(std::istringstream &ls)
+{
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty() && rest.front() == ' ')
+        rest.erase(0, 1);
+    return rest;
+}
+
+/**
+ * Unframe a farm record and hand each `key value` payload line to
+ * @p fn (false from fn = corrupt).  Shared by every fixed-shape
+ * message; submit/jobdone parse by hand because they embed sized
+ * binary blocks.
+ */
+template <typename Fn>
+WireDecode
+parseLines(const char *magic, const std::string &frame, Fn &&fn)
+{
+    std::string payload;
+    WireDecode d = runner::unframeRecord(magic, kFarmProtocolVersion,
+                                         frame, payload);
+    if (d != WireDecode::Ok)
+        return d;
+    std::istringstream in(payload);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (!fn(key, ls))
+            return WireDecode::Corrupt;
+    }
+    return WireDecode::Ok;
+}
+
+} // namespace
+
+const char *
+buildVersion()
+{
+    return SCSIM_VERSION;
+}
+
+// ---- hello ------------------------------------------------------------
+
+HelloMsg
+localHello(const char *role)
+{
+    HelloMsg m;
+    m.role = role;
+    m.build = SCSIM_VERSION;
+    m.jobWire = runner::kJobWireVersion;
+    m.resultFormat = runner::kResultFormatVersion;
+    return m;
+}
+
+std::string
+serializeHello(const HelloMsg &m)
+{
+    std::string payload;
+    putLine(payload, "role", escapeLine(m.role));
+    putLine(payload, "build", escapeLine(m.build));
+    putU64(payload, "jobwire", m.jobWire);
+    putU64(payload, "resultformat", m.resultFormat);
+    return runner::frameRecord(kHelloMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseHello(const std::string &frame, HelloMsg &out)
+{
+    HelloMsg m;
+    WireDecode d = parseLines(
+        kHelloMagic, frame, [&](const std::string &key,
+                                std::istringstream &ls) {
+            if (key == "role")
+                m.role = unescapeLine(restOfLine(ls));
+            else if (key == "build")
+                m.build = unescapeLine(restOfLine(ls));
+            else if (key == "jobwire")
+                return static_cast<bool>(ls >> m.jobWire);
+            else if (key == "resultformat")
+                return static_cast<bool>(ls >> m.resultFormat);
+            return true;  // unknown keys: forward-compatible
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(m);
+    return d;
+}
+
+void
+requireCompatibleHello(const HelloMsg &peer)
+{
+    if (peer.jobWire != runner::kJobWireVersion)
+        scsim_throw(ConfigError,
+                    "wire version mismatch: peer (%s, build %s) sends "
+                    "job records v%u, this build (%s) speaks v%u — "
+                    "run 'scsim_cli version' on both ends",
+                    peer.role.c_str(), peer.build.c_str(),
+                    peer.jobWire, SCSIM_VERSION,
+                    runner::kJobWireVersion);
+    if (peer.resultFormat != runner::kResultFormatVersion)
+        scsim_throw(ConfigError,
+                    "result format mismatch: peer (%s, build %s) uses "
+                    "v%u, this build (%s) uses v%u — run 'scsim_cli "
+                    "version' on both ends",
+                    peer.role.c_str(), peer.build.c_str(),
+                    peer.resultFormat, SCSIM_VERSION,
+                    runner::kResultFormatVersion);
+}
+
+// ---- submit -----------------------------------------------------------
+
+std::string
+serializeSubmit(const SubmitMsg &m)
+{
+    std::string payload;
+    putLine(payload, "name", escapeLine(m.name));
+    putBool(payload, "detach", m.detach);
+    putBool(payload, "resume", m.resume);
+    putU64(payload, "njobs", m.spec.jobs.size());
+    for (std::size_t i = 0; i < m.spec.jobs.size(); ++i) {
+        std::string job = runner::serializeJob(m.spec.jobs[i]);
+        payload += detail::format("job %zu %zu\n", i, job.size());
+        payload += job;
+    }
+    return runner::frameRecord(kSubmitMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseSubmit(const std::string &frame, SubmitMsg &out)
+{
+    std::string payload;
+    WireDecode d = runner::unframeRecord(
+        kSubmitMagic, kFarmProtocolVersion, frame, payload);
+    if (d != WireDecode::Ok)
+        return d;
+
+    SubmitMsg m;
+    std::uint64_t njobs = 0;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        auto lineEnd = payload.find('\n', pos);
+        if (lineEnd == std::string::npos)
+            return WireDecode::Corrupt;
+        std::istringstream ls(payload.substr(pos, lineEnd - pos));
+        pos = lineEnd + 1;
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "name") {
+            m.name = unescapeLine(restOfLine(ls));
+        } else if (key == "detach") {
+            int b;
+            if (!(ls >> b))
+                return WireDecode::Corrupt;
+            m.detach = b != 0;
+        } else if (key == "resume") {
+            int b;
+            if (!(ls >> b))
+                return WireDecode::Corrupt;
+            m.resume = b != 0;
+        } else if (key == "njobs") {
+            if (!(ls >> njobs))
+                return WireDecode::Corrupt;
+        } else if (key == "job") {
+            std::size_t index = 0, nbytes = 0;
+            if (!(ls >> index >> nbytes)
+                || index != m.spec.jobs.size()
+                || pos + nbytes > payload.size())
+                return WireDecode::Corrupt;
+            runner::SimJob job;
+            // parseJob may throw ConfigError for a config key the
+            // peer knows and we don't — let it propagate; the caller
+            // reports it as a rejection, not silent corruption.
+            if (runner::parseJob(payload.substr(pos, nbytes), job)
+                != WireDecode::Ok)
+                return WireDecode::Corrupt;
+            m.spec.jobs.push_back(std::move(job));
+            pos += nbytes;
+        }
+    }
+    if (m.spec.jobs.size() != njobs)
+        return WireDecode::Corrupt;
+    out = std::move(m);
+    return WireDecode::Ok;
+}
+
+// ---- accept -----------------------------------------------------------
+
+std::string
+serializeAccept(const AcceptMsg &m)
+{
+    std::string payload;
+    putU64(payload, "sweep", m.sweepId);
+    putLine(payload, "spec", runner::keyToHex(m.specHash));
+    putU64(payload, "njobs", m.jobCount);
+    putU64(payload, "adopted", m.adopted);
+    return runner::frameRecord(kAcceptMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseAccept(const std::string &frame, AcceptMsg &out)
+{
+    AcceptMsg m;
+    WireDecode d = parseLines(
+        kAcceptMagic, frame, [&](const std::string &key,
+                                 std::istringstream &ls) {
+            if (key == "sweep")
+                return static_cast<bool>(ls >> m.sweepId);
+            if (key == "spec") {
+                std::string hex;
+                if (!(ls >> hex))
+                    return false;
+                char *end = nullptr;
+                m.specHash = std::strtoull(hex.c_str(), &end, 16);
+                return end && *end == '\0';
+            }
+            if (key == "njobs")
+                return static_cast<bool>(ls >> m.jobCount);
+            if (key == "adopted")
+                return static_cast<bool>(ls >> m.adopted);
+            return true;
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(m);
+    return d;
+}
+
+// ---- jobdone ----------------------------------------------------------
+
+std::string
+serializeJobDone(const JobDoneMsg &m)
+{
+    std::string payload;
+    putU64(payload, "index", m.index);
+    putBool(payload, "adopted", m.adopted);
+    std::string res = runner::serializeJobResult(m.result);
+    payload += detail::format("result %zu\n", res.size());
+    payload += res;
+    return runner::frameRecord(kJobDoneMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseJobDone(const std::string &frame, JobDoneMsg &out)
+{
+    std::string payload;
+    WireDecode d = runner::unframeRecord(
+        kJobDoneMagic, kFarmProtocolVersion, frame, payload);
+    if (d != WireDecode::Ok)
+        return d;
+
+    JobDoneMsg m;
+    bool haveResult = false;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        auto lineEnd = payload.find('\n', pos);
+        if (lineEnd == std::string::npos)
+            return WireDecode::Corrupt;
+        std::istringstream ls(payload.substr(pos, lineEnd - pos));
+        pos = lineEnd + 1;
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "index") {
+            if (!(ls >> m.index))
+                return WireDecode::Corrupt;
+        } else if (key == "adopted") {
+            int b;
+            if (!(ls >> b))
+                return WireDecode::Corrupt;
+            m.adopted = b != 0;
+        } else if (key == "result") {
+            std::size_t nbytes = 0;
+            if (!(ls >> nbytes) || pos + nbytes > payload.size())
+                return WireDecode::Corrupt;
+            if (runner::decodeJobResult(payload.substr(pos, nbytes),
+                                        m.result) != WireDecode::Ok)
+                return WireDecode::Corrupt;
+            haveResult = true;
+            pos += nbytes;
+        }
+    }
+    if (!haveResult)
+        return WireDecode::Corrupt;
+    out = std::move(m);
+    return WireDecode::Ok;
+}
+
+// ---- sweepdone --------------------------------------------------------
+
+std::string
+serializeSweepDone(const SweepDoneMsg &m)
+{
+    std::string payload;
+    putU64(payload, "executed", m.executed);
+    putU64(payload, "cachehits", m.cacheHits);
+    putU64(payload, "failed", m.failed);
+    putU64(payload, "resumed", m.resumed);
+    return runner::frameRecord(kSweepDoneMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseSweepDone(const std::string &frame, SweepDoneMsg &out)
+{
+    SweepDoneMsg m;
+    WireDecode d = parseLines(
+        kSweepDoneMagic, frame, [&](const std::string &key,
+                                    std::istringstream &ls) {
+            if (key == "executed")
+                return static_cast<bool>(ls >> m.executed);
+            if (key == "cachehits")
+                return static_cast<bool>(ls >> m.cacheHits);
+            if (key == "failed")
+                return static_cast<bool>(ls >> m.failed);
+            if (key == "resumed")
+                return static_cast<bool>(ls >> m.resumed);
+            return true;
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(m);
+    return d;
+}
+
+// ---- status -----------------------------------------------------------
+
+double
+FarmStatus::cacheHitRate() const
+{
+    std::uint64_t total = cacheHits + cacheMisses;
+    return total ? static_cast<double>(cacheHits)
+                       / static_cast<double>(total)
+                 : 0.0;
+}
+
+std::string
+serializeStatusReq()
+{
+    return runner::frameRecord(kStatusReqMagic, kFarmProtocolVersion,
+                               "");
+}
+
+WireDecode
+parseStatusReq(const std::string &frame)
+{
+    std::string payload;
+    return runner::unframeRecord(kStatusReqMagic, kFarmProtocolVersion,
+                                 frame, payload);
+}
+
+std::string
+serializeStatus(const FarmStatus &s)
+{
+    std::string payload;
+    putLine(payload, "build", escapeLine(s.build));
+    putU64(payload, "protocol", s.protocol);
+    putU64(payload, "uptimems", s.uptimeMs);
+    putU64(payload, "workers", static_cast<std::uint64_t>(s.workers));
+    putU64(payload, "busyworkers",
+           static_cast<std::uint64_t>(s.busyWorkers));
+    putU64(payload, "queuedepth", s.queueDepth);
+    putU64(payload, "inflight", s.inFlight);
+    putU64(payload, "sessions", s.sessions);
+    putU64(payload, "sweepsactive", s.sweepsActive);
+    putU64(payload, "sweepscompleted", s.sweepsCompleted);
+    putU64(payload, "jobscompleted", s.jobsCompleted);
+    putU64(payload, "jobsfailed", s.jobsFailed);
+    putU64(payload, "jobscrashed", s.jobsCrashed);
+    putU64(payload, "jobscoalesced", s.jobsCoalesced);
+    putU64(payload, "cachehits", s.cacheHits);
+    putU64(payload, "cachemisses", s.cacheMisses);
+    putU64(payload, "cachequarantined", s.cacheQuarantined);
+    putU64(payload, "cacheevicted", s.cacheEvicted);
+    putU64(payload, "cachediskbytes", s.cacheDiskBytes);
+    putU64(payload, "cachemaxbytes", s.cacheMaxBytes);
+    return runner::frameRecord(kStatusMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseStatus(const std::string &frame, FarmStatus &out)
+{
+    FarmStatus s;
+    WireDecode d = parseLines(
+        kStatusMagic, frame, [&](const std::string &key,
+                                 std::istringstream &ls) {
+            if (key == "build") {
+                s.build = unescapeLine(restOfLine(ls));
+                return true;
+            }
+            if (key == "protocol")
+                return static_cast<bool>(ls >> s.protocol);
+            if (key == "uptimems")
+                return static_cast<bool>(ls >> s.uptimeMs);
+            if (key == "workers")
+                return static_cast<bool>(ls >> s.workers);
+            if (key == "busyworkers")
+                return static_cast<bool>(ls >> s.busyWorkers);
+            if (key == "queuedepth")
+                return static_cast<bool>(ls >> s.queueDepth);
+            if (key == "inflight")
+                return static_cast<bool>(ls >> s.inFlight);
+            if (key == "sessions")
+                return static_cast<bool>(ls >> s.sessions);
+            if (key == "sweepsactive")
+                return static_cast<bool>(ls >> s.sweepsActive);
+            if (key == "sweepscompleted")
+                return static_cast<bool>(ls >> s.sweepsCompleted);
+            if (key == "jobscompleted")
+                return static_cast<bool>(ls >> s.jobsCompleted);
+            if (key == "jobsfailed")
+                return static_cast<bool>(ls >> s.jobsFailed);
+            if (key == "jobscrashed")
+                return static_cast<bool>(ls >> s.jobsCrashed);
+            if (key == "jobscoalesced")
+                return static_cast<bool>(ls >> s.jobsCoalesced);
+            if (key == "cachehits")
+                return static_cast<bool>(ls >> s.cacheHits);
+            if (key == "cachemisses")
+                return static_cast<bool>(ls >> s.cacheMisses);
+            if (key == "cachequarantined")
+                return static_cast<bool>(ls >> s.cacheQuarantined);
+            if (key == "cacheevicted")
+                return static_cast<bool>(ls >> s.cacheEvicted);
+            if (key == "cachediskbytes")
+                return static_cast<bool>(ls >> s.cacheDiskBytes);
+            if (key == "cachemaxbytes")
+                return static_cast<bool>(ls >> s.cacheMaxBytes);
+            return true;
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(s);
+    return d;
+}
+
+std::string
+statusToJson(const FarmStatus &s)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"build\": \"" + jsonEscape(s.build) + "\",\n";
+    out += detail::format("  \"protocol\": %u,\n", s.protocol);
+    out += detail::format("  \"uptimeMs\": %" PRIu64 ",\n", s.uptimeMs);
+    out += detail::format("  \"workers\": %d,\n", s.workers);
+    out += detail::format("  \"busyWorkers\": %d,\n", s.busyWorkers);
+    out += detail::format("  \"queueDepth\": %" PRIu64 ",\n",
+                          s.queueDepth);
+    out += detail::format("  \"inFlight\": %" PRIu64 ",\n", s.inFlight);
+    out += detail::format("  \"sessions\": %" PRIu64 ",\n", s.sessions);
+    out += detail::format("  \"sweepsActive\": %" PRIu64 ",\n",
+                          s.sweepsActive);
+    out += detail::format("  \"sweepsCompleted\": %" PRIu64 ",\n",
+                          s.sweepsCompleted);
+    out += detail::format("  \"jobsCompleted\": %" PRIu64 ",\n",
+                          s.jobsCompleted);
+    out += detail::format("  \"jobsFailed\": %" PRIu64 ",\n",
+                          s.jobsFailed);
+    out += detail::format("  \"jobsCrashed\": %" PRIu64 ",\n",
+                          s.jobsCrashed);
+    out += detail::format("  \"jobsCoalesced\": %" PRIu64 ",\n",
+                          s.jobsCoalesced);
+    out += detail::format("  \"cacheHits\": %" PRIu64 ",\n",
+                          s.cacheHits);
+    out += detail::format("  \"cacheMisses\": %" PRIu64 ",\n",
+                          s.cacheMisses);
+    out += detail::format("  \"cacheHitRate\": %.4f,\n",
+                          s.cacheHitRate());
+    out += detail::format("  \"cacheQuarantined\": %" PRIu64 ",\n",
+                          s.cacheQuarantined);
+    out += detail::format("  \"cacheEvicted\": %" PRIu64 ",\n",
+                          s.cacheEvicted);
+    out += detail::format("  \"cacheDiskBytes\": %" PRIu64 ",\n",
+                          s.cacheDiskBytes);
+    out += detail::format("  \"cacheMaxBytes\": %" PRIu64 "\n",
+                          s.cacheMaxBytes);
+    out += "}\n";
+    return out;
+}
+
+// ---- errors -----------------------------------------------------------
+
+std::string
+serializeError(const std::string &message)
+{
+    std::string payload;
+    putLine(payload, "message", escapeLine(message));
+    return runner::frameRecord(kErrorMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseError(const std::string &frame, ErrorMsg &out)
+{
+    ErrorMsg m;
+    WireDecode d = parseLines(
+        kErrorMagic, frame, [&](const std::string &key,
+                                std::istringstream &ls) {
+            if (key == "message")
+                m.message = unescapeLine(restOfLine(ls));
+            return true;
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(m);
+    return d;
+}
+
+// ---- decode policy ----------------------------------------------------
+
+void
+requireRecord(runner::WireDecode d, const std::string &frame,
+              const char *context)
+{
+    if (d == WireDecode::Ok)
+        return;
+    runner::FrameHeader hdr;
+    if (d == WireDecode::VersionSkew
+        && runner::peekFrameHeader(frame, hdr))
+        scsim_throw(ConfigError,
+                    "farm protocol version mismatch at %s: peer sent "
+                    "%s v%u, this build (%s) speaks v%u — run "
+                    "'scsim_cli version' on both ends",
+                    context, hdr.magic.c_str(), hdr.version,
+                    SCSIM_VERSION, kFarmProtocolVersion);
+    scsim_throw(ConfigError,
+                "corrupt or unexpected farm record at %s (%zu bytes)",
+                context, frame.size());
+}
+
+} // namespace scsim::farm

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The farm wire protocol: what a client and a `scsim_cli serve`
+ * daemon say to each other.
+ *
+ * Every message is a versioned, checksummed record (runner/wire.hh
+ * framing, `kFarmProtocolVersion`) wrapped in a transport envelope
+ * (`envelopeFrame`) so a socket can carry any number of them and a
+ * FrameAssembler can reassemble them from arbitrary read() chunks.
+ *
+ * A session is strictly client-speaks-first:
+ *
+ *   client                          server
+ *   ------                          ------
+ *   scsim-hello          ->
+ *                        <-         scsim-hello
+ *   scsim-submit         ->
+ *                        <-         scsim-accept
+ *                        <-         scsim-jobdone   (one per job, in
+ *                        <-         scsim-jobdone    completion order)
+ *                        <-         scsim-sweepdone
+ *
+ * or `scsim-status-req` -> `scsim-status` for the monitoring
+ * endpoint.  Any server-side rejection (validation failure, version
+ * skew in an embedded job record) is an `scsim-error` whose message
+ * the client rethrows as the matching SimError.  A version-skewed
+ * *protocol* record is answered with an error naming both versions —
+ * never a silent checksum failure — which requireRecord() turns into
+ * a ConfigError on whichever side sees it.
+ *
+ * Identity note: a jobdone record carries the complete JobResult
+ * (byte-round-trippable, see runner/wire.hh), so a client that
+ * assembles them in spec order holds exactly what a local sweep
+ * engine would have produced — manifests come out byte-identical.
+ */
+
+#ifndef SCSIM_FARM_PROTOCOL_HH
+#define SCSIM_FARM_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/job_result.hh"
+#include "runner/sweep_spec.hh"
+#include "runner/wire.hh"
+
+namespace scsim::farm {
+
+/** Farm protocol version; bump on any message-shape change. */
+inline constexpr std::uint32_t kFarmProtocolVersion = 1;
+
+/** Human-readable build version (CMake project version). */
+const char *buildVersion();
+
+// Record magics (exposed for tests that hand-craft frames).
+inline constexpr const char *kHelloMagic = "scsim-hello";
+inline constexpr const char *kSubmitMagic = "scsim-submit";
+inline constexpr const char *kAcceptMagic = "scsim-accept";
+inline constexpr const char *kJobDoneMagic = "scsim-jobdone";
+inline constexpr const char *kSweepDoneMagic = "scsim-sweepdone";
+inline constexpr const char *kStatusReqMagic = "scsim-status-req";
+inline constexpr const char *kStatusMagic = "scsim-status";
+inline constexpr const char *kErrorMagic = "scsim-error";
+
+// ---- handshake --------------------------------------------------------
+
+/** First message in each direction: who speaks what. */
+struct HelloMsg
+{
+    std::string role;   //!< "client" or "server"
+    std::string build;  //!< human-readable build version
+    std::uint32_t jobWire = 0;       //!< runner::kJobWireVersion
+    std::uint32_t resultFormat = 0;  //!< runner::kResultFormatVersion
+};
+
+/** A hello describing this build, with @p role filled in. */
+HelloMsg localHello(const char *role);
+
+std::string serializeHello(const HelloMsg &m);
+runner::WireDecode parseHello(const std::string &frame, HelloMsg &out);
+
+/**
+ * Reject a peer whose embedded-record versions differ from this
+ * build's: throws ConfigError naming both sides.  The protocol
+ * version itself is checked by the frame header (see requireRecord).
+ */
+void requireCompatibleHello(const HelloMsg &peer);
+
+// ---- submit -----------------------------------------------------------
+
+/** A sweep submission: the complete spec plus delivery options. */
+struct SubmitMsg
+{
+    std::string name;    //!< client-chosen label (status/debug only)
+    bool detach = false; //!< fire-and-forget: no jobdone streaming
+    bool resume = false; //!< adopt journaled results for this spec
+    runner::SweepSpec spec;
+};
+
+std::string serializeSubmit(const SubmitMsg &m);
+runner::WireDecode parseSubmit(const std::string &frame, SubmitMsg &out);
+
+/** The server's acknowledgement of a submission. */
+struct AcceptMsg
+{
+    std::uint64_t sweepId = 0;   //!< server-assigned, unique per run
+    std::uint64_t specHash = 0;  //!< runner::sweepSpecHash of the spec
+    std::uint64_t jobCount = 0;
+    std::uint64_t adopted = 0;   //!< jobs resumed from the journal
+};
+
+std::string serializeAccept(const AcceptMsg &m);
+runner::WireDecode parseAccept(const std::string &frame, AcceptMsg &out);
+
+// ---- streamed results -------------------------------------------------
+
+/** One finished job: the progress event and the result in one. */
+struct JobDoneMsg
+{
+    std::uint64_t index = 0;  //!< position in the submitted spec
+    bool adopted = false;     //!< came from the resume journal
+    runner::JobResult result;
+};
+
+std::string serializeJobDone(const JobDoneMsg &m);
+runner::WireDecode parseJobDone(const std::string &frame, JobDoneMsg &out);
+
+/** End of a sweep's stream: the server-side tallies. */
+struct SweepDoneMsg
+{
+    std::uint64_t executed = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t resumed = 0;
+};
+
+std::string serializeSweepDone(const SweepDoneMsg &m);
+runner::WireDecode parseSweepDone(const std::string &frame,
+                                  SweepDoneMsg &out);
+
+// ---- status -----------------------------------------------------------
+
+/** The `status --json` payload: one snapshot of daemon health. */
+struct FarmStatus
+{
+    std::string build;
+    std::uint32_t protocol = 0;
+    std::uint64_t uptimeMs = 0;
+
+    int workers = 0;         //!< configured worker threads
+    int busyWorkers = 0;     //!< currently running a job
+    std::uint64_t queueDepth = 0;   //!< submitted, not yet claimed
+    std::uint64_t inFlight = 0;     //!< claimed, still running
+    std::uint64_t sessions = 0;     //!< open client connections
+    std::uint64_t sweepsActive = 0;
+    std::uint64_t sweepsCompleted = 0;
+
+    std::uint64_t jobsCompleted = 0;  //!< any terminal status
+    std::uint64_t jobsFailed = 0;     //!< failed + hang
+    std::uint64_t jobsCrashed = 0;
+    std::uint64_t jobsCoalesced = 0;  //!< duplicates folded in flight
+
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheQuarantined = 0;
+    std::uint64_t cacheEvicted = 0;
+    std::uint64_t cacheDiskBytes = 0;
+    std::uint64_t cacheMaxBytes = 0;
+
+    /** Hit fraction in [0,1]; 0 when nothing was looked up. */
+    double cacheHitRate() const;
+};
+
+std::string serializeStatusReq();
+runner::WireDecode parseStatusReq(const std::string &frame);
+
+std::string serializeStatus(const FarmStatus &s);
+runner::WireDecode parseStatus(const std::string &frame, FarmStatus &out);
+
+/** The status snapshot as a JSON object (for `status --json`). */
+std::string statusToJson(const FarmStatus &s);
+
+// ---- errors -----------------------------------------------------------
+
+struct ErrorMsg
+{
+    std::string message;
+};
+
+std::string serializeError(const std::string &message);
+runner::WireDecode parseError(const std::string &frame, ErrorMsg &out);
+
+// ---- decode policy ----------------------------------------------------
+
+/**
+ * Enforce that @p frame decoded Ok.  On VersionSkew, peeks the frame
+ * header and throws ConfigError naming the peer's protocol version
+ * and this build's; on Corrupt, throws ConfigError describing the
+ * breach.  @p context names the conversation step for the message.
+ */
+void requireRecord(runner::WireDecode d, const std::string &frame,
+                   const char *context);
+
+} // namespace scsim::farm
+
+#endif // SCSIM_FARM_PROTOCOL_HH

@@ -1,0 +1,194 @@
+#include "farm/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace scsim::farm {
+
+namespace {
+
+void
+fillUnixAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.size() >= sizeof addr.sun_path)
+        scsim_throw(SimError, "socket path too long (%zu bytes): %s",
+                    path.size(), path.c_str());
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+} // namespace
+
+void
+Fd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Fd
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    fillUnixAddr(path, addr);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        scsim_throw(SimError, "socket(AF_UNIX) failed: %s",
+                    std::strerror(errno));
+
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (errno != EADDRINUSE)
+            scsim_throw(SimError, "cannot bind '%s': %s", path.c_str(),
+                        std::strerror(errno));
+        // A socket file already exists.  If a daemon answers on it,
+        // refuse; if it's the corpse of a dead one, reclaim the path.
+        Fd probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+        if (probe.valid()
+            && ::connect(probe.get(), reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr) == 0)
+            scsim_throw(SimError,
+                        "another daemon is already serving on '%s'",
+                        path.c_str());
+        ::unlink(path.c_str());
+        if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            scsim_throw(SimError, "cannot rebind '%s': %s",
+                        path.c_str(), std::strerror(errno));
+    }
+    if (::listen(fd.get(), 64) != 0)
+        scsim_throw(SimError, "listen on '%s' failed: %s", path.c_str(),
+                    std::strerror(errno));
+    return fd;
+}
+
+Fd
+listenTcp(int port, int &boundPort)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        scsim_throw(SimError, "socket(AF_INET) failed: %s",
+                    std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        scsim_throw(SimError, "cannot bind 127.0.0.1:%d: %s", port,
+                    std::strerror(errno));
+    if (::listen(fd.get(), 64) != 0)
+        scsim_throw(SimError, "listen on port %d failed: %s", port,
+                    std::strerror(errno));
+
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        scsim_throw(SimError, "getsockname failed: %s",
+                    std::strerror(errno));
+    boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    fillUnixAddr(path, addr);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        scsim_throw(SimError, "socket(AF_UNIX) failed: %s",
+                    std::strerror(errno));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        scsim_throw(SimError,
+                    "cannot connect to daemon at '%s': %s — is "
+                    "'scsim_cli serve' running?",
+                    path.c_str(), std::strerror(errno));
+    return fd;
+}
+
+Fd
+connectTcp(int port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        scsim_throw(SimError, "socket(AF_INET) failed: %s",
+                    std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        scsim_throw(SimError,
+                    "cannot connect to daemon at 127.0.0.1:%d: %s — "
+                    "is 'scsim_cli serve' running?",
+                    port, std::strerror(errno));
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t done = 0;
+    while (done < data.size()) {
+        ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                struct pollfd p = { fd, POLLOUT, 0 };
+                ::poll(&p, 1, 1000);
+                continue;
+            }
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+readSome(int fd, std::string &out)
+{
+    char buf[16384];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n > 0)
+            out.append(buf, static_cast<std::size_t>(n));
+        return static_cast<long>(n);
+    }
+}
+
+void
+setNonblocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace scsim::farm

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Thin POSIX socket wrappers for the farm: Unix-domain and loopback
+ * TCP, listen and connect, with RAII ownership and the two blocking
+ * primitives a simple client needs (sendAll / one read).  The server
+ * runs its own nonblocking poll loop over raw fds; these helpers only
+ * get it a bound listener.
+ *
+ * Errors are SimError (setup faults — a missing socket path, a port
+ * in use); per-connection I/O failures are returned, not thrown,
+ * because a dying peer is business as usual for a daemon.
+ */
+
+#ifndef SCSIM_FARM_SOCKET_HH
+#define SCSIM_FARM_SOCKET_HH
+
+#include <string>
+
+namespace scsim::farm {
+
+/** An owned file descriptor (closed on destruction, movable). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { close(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on a Unix-domain socket at @p path.  An existing
+ * socket file that nothing answers on (a previous daemon's remains)
+ * is removed and rebound; a live one throws SimError — two daemons
+ * must not fight over one path.
+ */
+Fd listenUnix(const std::string &path);
+
+/**
+ * Bind + listen on loopback TCP @p port (0 = ephemeral).  The port
+ * actually bound is written back through @p boundPort.
+ */
+Fd listenTcp(int port, int &boundPort);
+
+/** Connect to a Unix-domain socket; throws SimError on failure. */
+Fd connectUnix(const std::string &path);
+
+/** Connect to loopback TCP; throws SimError on failure. */
+Fd connectTcp(int port);
+
+/** Write all of @p data (blocking); false when the peer went away. */
+bool sendAll(int fd, const std::string &data);
+
+/**
+ * One blocking read into @p out (appended).  Returns the byte count,
+ * 0 on orderly shutdown, -1 on error.
+ */
+long readSome(int fd, std::string &out);
+
+/** Mark @p fd nonblocking (server loop fds). */
+void setNonblocking(int fd);
+
+} // namespace scsim::farm
+
+#endif // SCSIM_FARM_SOCKET_HH

@@ -1,0 +1,88 @@
+#include "runner/isolated_run.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+#include "runner/subprocess.hh"
+#include "runner/wire.hh"
+
+namespace scsim::runner {
+
+namespace {
+
+/** First line of a (possibly multi-line) error message. */
+std::string
+firstLine(const std::string &s)
+{
+    auto nl = s.find('\n');
+    return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+} // namespace
+
+void
+runJobIsolated(const SimJob &job, const IsolatedRunOptions &opts,
+               JobResult &r)
+{
+    const std::string exe = opts.selfExe.empty()
+        ? currentExecutablePath()
+        : opts.selfExe;
+    const std::string input = serializeJob(job);
+    const int attempts = std::max(1, opts.attempts);
+
+    for (int attempt = 1;; ++attempt) {
+        SubprocessResult sub = runSubprocess({ exe, "run-job" }, input,
+                                             opts.timeoutSec);
+        r.attempts = attempt;
+        if (sub.exitedCleanly()) {
+            JobResult decoded;
+            if (decodeJobResult(sub.stdoutText, decoded)
+                == WireDecode::Ok) {
+                decoded.key = r.key;  // parent-computed identity wins
+                decoded.cached = false;
+                decoded.attempts = attempt;
+                r = std::move(decoded);
+                return;
+            }
+            // A clean exit with garbage on stdout is a protocol
+            // breach; treat it exactly like a crash (retry, then
+            // record) so a half-written record cannot pass for ok.
+            r.error = "worker exited cleanly without a valid result "
+                      "record";
+        } else if (sub.timedOut) {
+            r.error = detail::format("worker timed out after %.1fs",
+                                     opts.timeoutSec);
+        } else if (sub.termSignal) {
+            r.error = detail::format("worker crashed: signal %d (%s)",
+                                     sub.termSignal,
+                                     strsignal(sub.termSignal));
+        } else {
+            r.error = detail::format(
+                "worker exited with code %d without a result",
+                sub.exitCode);
+        }
+        r.status = JobStatus::Crashed;
+        r.stats = SimStats{};
+        r.exitCode = sub.exitCode;
+        r.termSignal = sub.termSignal;
+        // Crash forensics go to the diagnostics stream, never into
+        // the recorded error: a stderr tail can contain addresses,
+        // and the recorded text must be identical across re-runs for
+        // manifests to stay byte-reproducible.
+        if (!sub.stderrTail.empty())
+            scsim_warn("job '%s' worker stderr tail:\n%s",
+                       job.tag.c_str(), sub.stderrTail.c_str());
+        if (attempt >= attempts)
+            return;
+        scsim_warn("job '%s' %s (attempt %d/%d), respawning",
+                   job.tag.c_str(), firstLine(r.error).c_str(),
+                   attempt, attempts);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1LL << attempt));
+    }
+}
+
+} // namespace scsim::runner

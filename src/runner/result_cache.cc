@@ -1,10 +1,12 @@
 #include "runner/result_cache.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
@@ -13,15 +15,30 @@
 
 namespace scsim::runner {
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+isCacheFile(const fs::path &p)
+{
+    return p.extension() == ".stats" || p.extension() == ".corrupt";
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::uint64_t maxDiskBytes)
+    : dir_(std::move(dir)), maxDiskBytes_(maxDiskBytes)
 {
     if (dir_.empty())
         return;
     std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
+    fs::create_directories(dir_, ec);
     if (ec)
         scsim_throw(CacheError, "cannot create cache directory '%s': %s",
                     dir_.c_str(), ec.message().c_str());
+    std::lock_guard lock(mutex_);
+    trimLocked();
 }
 
 std::string
@@ -49,11 +66,22 @@ ResultCache::lookup(std::uint64_t key, SimStats &out)
             text << in.rdbuf();
             SimStats s;
             switch (decodeStats(text.str(), s)) {
-              case StatsDecode::Ok:
+              case StatsDecode::Ok: {
+                if (maxDiskBytes_) {
+                    // Touch the entry so LRU-by-mtime trimming sees
+                    // disk hits as recent use.  Best-effort: a failed
+                    // touch only ages the entry.
+                    std::error_code ec;
+                    std::filesystem::last_write_time(
+                        pathFor(key),
+                        std::filesystem::file_time_type::clock::now(),
+                        ec);
+                }
                 memory_.emplace(key, s);
                 out = std::move(s);
                 ++hits_;
                 return true;
+              }
               case StatsDecode::VersionSkew:
                 // Another format version: a legitimate miss; the
                 // re-run overwrites the stale entry.
@@ -111,6 +139,58 @@ ResultCache::store(std::uint64_t key, const SimStats &stats)
         scsim_throw(CacheError, "cannot finalize cache entry %s: %s",
                     path.c_str(), ec.message().c_str());
     }
+    if (maxDiskBytes_)
+        trimLocked();
+}
+
+void
+ResultCache::trimLocked()
+{
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+        bool corrupt;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (!isCacheFile(de.path()))
+            continue;
+        std::error_code fec;
+        std::uint64_t bytes = de.file_size(fec);
+        fs::file_time_type mtime = de.last_write_time(fec);
+        if (fec)
+            continue;  // vanished between listing and stat
+        total += bytes;
+        entries.push_back({ de.path(), bytes, mtime,
+                            de.path().extension() == ".corrupt" });
+    }
+    diskBytes_ = total;
+    if (!maxDiskBytes_ || total <= maxDiskBytes_)
+        return;
+
+    // Evict quarantined wreckage first (its only value is forensic),
+    // then least-recently-used live entries.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         if (a.corrupt != b.corrupt)
+                             return a.corrupt;
+                         return a.mtime < b.mtime;
+                     });
+    for (const Entry &e : entries) {
+        if (total <= maxDiskBytes_)
+            break;
+        std::error_code rmEc;
+        if (!fs::remove(e.path, rmEc) || rmEc)
+            continue;
+        total -= std::min(total, e.bytes);
+        ++evicted_;
+    }
+    diskBytes_ = total;
 }
 
 std::uint64_t
@@ -132,6 +212,31 @@ ResultCache::quarantined() const
 {
     std::lock_guard lock(mutex_);
     return quarantined_;
+}
+
+std::uint64_t
+ResultCache::evicted() const
+{
+    std::lock_guard lock(mutex_);
+    return evicted_;
+}
+
+std::uint64_t
+ResultCache::diskBytes() const
+{
+    if (dir_.empty())
+        return 0;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (!isCacheFile(de.path()))
+            continue;
+        std::error_code fec;
+        std::uint64_t bytes = de.file_size(fec);
+        if (!fec)
+            total += bytes;
+    }
+    return total;
 }
 
 } // namespace scsim::runner

@@ -44,9 +44,17 @@ class ResultCache
 
     /**
      * Memory + disk cache rooted at @p dir (created if absent;
-     * throws CacheError when creation fails).
+     * throws CacheError when creation fails).  @p maxDiskBytes, when
+     * nonzero, caps the on-disk footprint: after every store the
+     * directory is trimmed back under the cap, evicting
+     * least-recently-used entries (by mtime — disk hits touch their
+     * entry) and pruning quarantined `.corrupt` files first.  A
+     * long-lived daemon can therefore never grow the cache without
+     * bound.  The cap governs the disk only; in-memory entries are
+     * untouched.
      */
-    explicit ResultCache(std::string dir);
+    explicit ResultCache(std::string dir,
+                         std::uint64_t maxDiskBytes = 0);
 
     /**
      * True (and fills @p out) if @p key is cached in memory or disk.
@@ -68,16 +76,29 @@ class ResultCache
     std::uint64_t hits() const;
     std::uint64_t misses() const;
     std::uint64_t quarantined() const;
+    std::uint64_t evicted() const;
+
+    /** Current on-disk footprint (stats + corrupt files), in bytes. */
+    std::uint64_t diskBytes() const;
+
+    /** The configured disk cap; 0 = unbounded. */
+    std::uint64_t maxDiskBytes() const { return maxDiskBytes_; }
 
   private:
     std::string pathFor(std::uint64_t key) const;
 
+    /** Re-scan the directory and evict down to the cap (locked). */
+    void trimLocked();
+
     std::string dir_;
+    std::uint64_t maxDiskBytes_ = 0;
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, SimStats> memory_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t quarantined_ = 0;
+    std::uint64_t evicted_ = 0;
+    std::uint64_t diskBytes_ = 0;
 };
 
 } // namespace scsim::runner

@@ -10,9 +10,9 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "runner/isolated_run.hh"
 #include "runner/job_key.hh"
 #include "runner/journal.hh"
-#include "runner/subprocess.hh"
 #include "runner/wire.hh"
 #include "runner/worker_pool.hh"
 #include "sim/engine.hh"
@@ -93,69 +93,19 @@ SweepResult::cycles(const std::string &tag) const
 }
 
 SweepEngine::SweepEngine(SweepOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cacheDir)
+    : opts_(std::move(opts)),
+      cache_(opts_.cacheDir, opts_.cacheMaxBytes)
 {
 }
 
 void
 SweepEngine::runIsolated(const SimJob &job, JobResult &r)
 {
-    const std::string exe = opts_.selfExe.empty()
-        ? currentExecutablePath()
-        : opts_.selfExe;
-    const std::string input = serializeJob(job);
-    const int attempts = std::max(1, opts_.crashAttempts);
-
-    for (int attempt = 1;; ++attempt) {
-        SubprocessResult sub = runSubprocess({ exe, "run-job" }, input,
-                                             opts_.jobTimeoutSec);
-        r.attempts = attempt;
-        if (sub.exitedCleanly()) {
-            JobResult decoded;
-            if (decodeJobResult(sub.stdoutText, decoded)
-                == WireDecode::Ok) {
-                decoded.key = r.key;  // parent-computed identity wins
-                decoded.cached = false;
-                decoded.attempts = attempt;
-                r = std::move(decoded);
-                return;
-            }
-            // A clean exit with garbage on stdout is a protocol
-            // breach; treat it exactly like a crash (retry, then
-            // record) so a half-written record cannot pass for ok.
-            r.error = "worker exited cleanly without a valid result "
-                      "record";
-        } else if (sub.timedOut) {
-            r.error = detail::format("worker timed out after %.1fs",
-                                     opts_.jobTimeoutSec);
-        } else if (sub.termSignal) {
-            r.error = detail::format("worker crashed: signal %d (%s)",
-                                     sub.termSignal,
-                                     strsignal(sub.termSignal));
-        } else {
-            r.error = detail::format(
-                "worker exited with code %d without a result",
-                sub.exitCode);
-        }
-        r.status = JobStatus::Crashed;
-        r.stats = SimStats{};
-        r.exitCode = sub.exitCode;
-        r.termSignal = sub.termSignal;
-        // Crash forensics go to the diagnostics stream, never into
-        // the recorded error: a stderr tail can contain addresses,
-        // and the recorded text must be identical across re-runs for
-        // manifests to stay byte-reproducible.
-        if (!sub.stderrTail.empty())
-            scsim_warn("job '%s' worker stderr tail:\n%s",
-                       job.tag.c_str(), sub.stderrTail.c_str());
-        if (attempt >= attempts)
-            return;
-        scsim_warn("job '%s' %s (attempt %d/%d), respawning",
-                   job.tag.c_str(), firstLine(r.error).c_str(),
-                   attempt, attempts);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(1LL << attempt));
-    }
+    IsolatedRunOptions iso;
+    iso.selfExe = opts_.selfExe;
+    iso.timeoutSec = opts_.jobTimeoutSec;
+    iso.attempts = opts_.crashAttempts;
+    runJobIsolated(job, iso, r);
 }
 
 SweepResult

@@ -69,6 +69,13 @@ struct SweepOptions
     /** On-disk result cache directory; empty = in-memory only. */
     std::string cacheDir;
 
+    /**
+     * Disk-footprint cap for the result cache; 0 = unbounded.  When
+     * set, the cache trims itself back under the cap after every
+     * store, least-recently-used entries first (see ResultCache).
+     */
+    std::uint64_t cacheMaxBytes = 0;
+
     /** Stream one line per completed job to @ref progressStream. */
     bool progress = false;
 

@@ -285,6 +285,73 @@ unframeRecord(const char *magic, std::uint32_t version,
     return WireDecode::Ok;
 }
 
+bool
+peekFrameHeader(const std::string &text, FrameHeader &out)
+{
+    auto nl = text.find('\n');
+    std::istringstream hs(text.substr(
+        0, nl == std::string::npos ? text.size() : nl));
+    std::string magic, version;
+    if (!(hs >> magic >> version))
+        return false;
+    if (version.size() < 2 || version.front() != 'v')
+        return false;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(version.c_str() + 1, &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    out.magic = std::move(magic);
+    out.version = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+std::string
+envelopeFrame(const std::string &frame)
+{
+    return detail::format("frame %zu\n", frame.size()) + frame;
+}
+
+void
+FrameAssembler::feed(const char *data, std::size_t n)
+{
+    if (!corrupt_)
+        buf_.append(data, n);
+}
+
+bool
+FrameAssembler::next(std::string &frame)
+{
+    if (corrupt_)
+        return false;
+
+    // Envelope line: `frame <byte-count>\n`.  Longest legal line is
+    // "frame " + 20 digits; anything longer without a newline is
+    // already garbage — don't wait for one that may never come.
+    auto nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+        if (buf_.size() > 32)
+            corrupt_ = true;
+        return false;
+    }
+
+    std::istringstream hs(buf_.substr(0, nl));
+    std::string kw;
+    std::uint64_t nbytes = 0;
+    std::string trailing;
+    if (!(hs >> kw >> nbytes) || kw != "frame" || (hs >> trailing)
+        || nbytes > maxFrameBytes_) {
+        corrupt_ = true;
+        return false;
+    }
+
+    if (buf_.size() - (nl + 1) < nbytes)
+        return false;  // body still in flight
+
+    frame = buf_.substr(nl + 1, nbytes);
+    buf_.erase(0, nl + 1 + nbytes);
+    return true;
+}
+
 std::string
 serializeStats(const SimStats &stats)
 {

@@ -27,6 +27,7 @@
 #ifndef SCSIM_RUNNER_WIRE_HH
 #define SCSIM_RUNNER_WIRE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -60,6 +61,68 @@ std::string frameRecord(const char *magic, std::uint32_t version,
  */
 WireDecode unframeRecord(const char *magic, std::uint32_t version,
                          const std::string &text, std::string &payload);
+
+/** The magic and version of a frame, without verifying its body. */
+struct FrameHeader
+{
+    std::string magic;
+    std::uint32_t version = 0;
+};
+
+/**
+ * Read just the `<magic> v<version>` prefix of a framed record.
+ * False when even that much is unparsable.  This is how a peer that
+ * rejects a record as VersionSkew finds out *which* version the other
+ * side speaks, so it can say so instead of reporting a bad checksum.
+ */
+bool peekFrameHeader(const std::string &text, FrameHeader &out);
+
+// ---- stream transport: incremental frame reassembly -------------------
+
+/**
+ * Wrap @p frame for a byte-stream transport (socket, pipe): a
+ * `frame <byte-count>\n` envelope line, then the frame verbatim.
+ * Framed records are self-checking but not self-delimiting — on a
+ * pipe the record ends at EOF, but a socket carries many records, and
+ * read() hands them back in arbitrary chunks.
+ */
+std::string envelopeFrame(const std::string &frame);
+
+/**
+ * Reassembles enveloped frames from arbitrary read() chunks: feed()
+ * bytes as they arrive — one at a time, split anywhere, including
+ * mid-envelope-line or mid-checksum — and next() yields each complete
+ * frame exactly once, in order.  A malformed envelope line or a frame
+ * larger than the cap poisons the stream (corrupt() stays true and
+ * next() yields nothing further): on a byte stream there is no way to
+ * resynchronise past unframed garbage.
+ */
+class FrameAssembler
+{
+  public:
+    explicit FrameAssembler(std::size_t maxFrameBytes = 64u << 20)
+        : maxFrameBytes_(maxFrameBytes)
+    {
+    }
+
+    /** Absorb @p n more transport bytes. */
+    void feed(const char *data, std::size_t n);
+    void feed(const std::string &chunk) { feed(chunk.data(), chunk.size()); }
+
+    /** Pop the next complete frame into @p frame; false when none. */
+    bool next(std::string &frame);
+
+    /** True once the stream is unrecoverably damaged. */
+    bool corrupt() const { return corrupt_; }
+
+    /** Bytes buffered awaiting a complete frame. */
+    std::size_t buffered() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+    std::size_t maxFrameBytes_;
+    bool corrupt_ = false;
+};
 
 // ---- SimStats records (the result-cache entry format) -----------------
 

@@ -1,0 +1,743 @@
+/**
+ * @file
+ * Sweep-farm tests: the stream transport (FrameAssembler fed one byte
+ * at a time, split across checksum boundaries), the farm protocol
+ * records, protocol-version rejection, the result cache's disk cap,
+ * and the daemon end to end — an in-process FarmServer on an
+ * ephemeral loopback port, real `run-job` worker subprocesses, and
+ * FarmClient submissions whose manifests must be byte-identical to a
+ * local SweepEngine run at any worker count, through crashes,
+ * SIGKILLed workers, concurrent duplicate clients and daemon
+ * restarts.
+ *
+ * Labeled `farm` in CTest; included in the tsan/asan presets.  The
+ * CLI binary's path is baked in as SCSIM_CLI_PATH (workers are real
+ * subprocesses).
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_inject.hh"
+#include "expect_throw.hh"
+#include "farm/farm_client.hh"
+#include "farm/farm_server.hh"
+#include "farm/protocol.hh"
+#include "runner/job_key.hh"
+#include "runner/journal.hh"
+#include "runner/report.hh"
+#include "runner/result_cache.hh"
+#include "runner/sweep_engine.hh"
+#include "runner/wire.hh"
+#include "workloads/suite.hh"
+
+namespace scsim::farm {
+namespace {
+
+using runner::FrameAssembler;
+using runner::JobResult;
+using runner::JobStatus;
+using runner::SimJob;
+using runner::SweepEngine;
+using runner::SweepOptions;
+using runner::SweepResult;
+using runner::SweepSpec;
+using runner::WireDecode;
+
+AppSpec
+tinyApp(const std::string &name, int blocks = 4)
+{
+    AppSpec app;
+    app.name = name;
+    app.suite = "test";
+    app.numBlocks = blocks;
+    app.warpsPerBlock = 4;
+    app.baseInsts = 60;
+    app.footprintMB = 1;
+    return app;
+}
+
+GpuConfig
+tinyCfg()
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    return cfg;
+}
+
+std::string
+freshDir(const std::string &leaf)
+{
+    std::string dir = testing::TempDir() + "scsim_farm_" + leaf;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+SweepSpec
+threeJobSpec()
+{
+    SweepSpec spec;
+    spec.add("a", tinyCfg(), tinyApp("appa"));
+    spec.add("b", tinyCfg(), tinyApp("appb"));
+    spec.add("c", tinyCfg(), tinyApp("appc"));
+    return spec;
+}
+
+/** What a local engine (no cache, isolated) says about @p spec. */
+SweepResult
+localRun(const SweepSpec &spec)
+{
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    opts.isolate = true;
+    opts.selfExe = SCSIM_CLI_PATH;
+    SweepEngine engine(opts);
+    return engine.run(spec);
+}
+
+/** A daemon on an ephemeral loopback port, run()ning on a thread. */
+class ServerRunner
+{
+  public:
+    explicit ServerRunner(FarmServerOptions opts)
+    {
+        opts.tcpPort = 0;
+        opts.selfExe = SCSIM_CLI_PATH;
+        server_ = std::make_unique<FarmServer>(std::move(opts));
+        thread_ = std::thread([this] { server_->run(); });
+    }
+
+    ~ServerRunner() { stop(); }
+
+    void
+    stop()
+    {
+        if (thread_.joinable()) {
+            server_->stop();
+            thread_.join();
+        }
+    }
+
+    int port() const { return server_->boundTcpPort(); }
+
+  private:
+    std::unique_ptr<FarmServer> server_;
+    std::thread thread_;
+};
+
+class FarmTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FaultInjector::instance().reset();
+        unsetenv("SCSIM_FAULT_CRASH");
+        unsetenv("SCSIM_FAULT_CRASH_ONCE");
+    }
+    void TearDown() override
+    {
+        FaultInjector::instance().reset();
+        unsetenv("SCSIM_FAULT_CRASH");
+        unsetenv("SCSIM_FAULT_CRASH_ONCE");
+    }
+};
+
+// ---- FrameAssembler: incremental transport reassembly -----------------
+
+TEST(FrameAssembler, ReassemblesOneByteAtATime)
+{
+    // A real framed record, checksum and all, fed one byte at a time:
+    // the assembler must never yield early and must yield exactly the
+    // original frame.
+    std::string frame =
+        runner::frameRecord("scsim-test", 1, "k v\nline two\n");
+    std::string wire = runner::envelopeFrame(frame);
+
+    FrameAssembler as;
+    std::string out;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        as.feed(wire.data() + i, 1);
+        EXPECT_FALSE(as.next(out)) << "yielded early at byte " << i;
+    }
+    as.feed(wire.data() + wire.size() - 1, 1);
+    ASSERT_TRUE(as.next(out));
+    EXPECT_EQ(out, frame);
+    EXPECT_FALSE(as.next(out));
+    EXPECT_FALSE(as.corrupt());
+    EXPECT_EQ(as.buffered(), 0u);
+}
+
+TEST(FrameAssembler, ReassemblesAcrossEverySplitPoint)
+{
+    // Two frames back to back, split into two feeds at every possible
+    // boundary — including mid-envelope-line and mid-checksum.
+    std::string f1 = runner::frameRecord("scsim-test", 1, "first\n");
+    std::string f2 = runner::frameRecord("scsim-test", 1, "second\n");
+    std::string wire =
+        runner::envelopeFrame(f1) + runner::envelopeFrame(f2);
+
+    for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+        FrameAssembler as;
+        as.feed(wire.data(), cut);
+        as.feed(wire.data() + cut, wire.size() - cut);
+        std::string a, b, extra;
+        ASSERT_TRUE(as.next(a)) << "cut at " << cut;
+        ASSERT_TRUE(as.next(b)) << "cut at " << cut;
+        EXPECT_EQ(a, f1);
+        EXPECT_EQ(b, f2);
+        EXPECT_FALSE(as.next(extra));
+        EXPECT_FALSE(as.corrupt());
+    }
+}
+
+TEST(FrameAssembler, ManyFramesInOneFeed)
+{
+    std::vector<std::string> frames;
+    std::string wire;
+    for (int i = 0; i < 17; ++i) {
+        frames.push_back(runner::frameRecord(
+            "scsim-test", 1, "payload " + std::to_string(i) + "\n"));
+        wire += runner::envelopeFrame(frames.back());
+    }
+    FrameAssembler as;
+    as.feed(wire);
+    std::string out;
+    for (int i = 0; i < 17; ++i) {
+        ASSERT_TRUE(as.next(out)) << "frame " << i;
+        EXPECT_EQ(out, frames[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_FALSE(as.next(out));
+}
+
+TEST(FrameAssembler, GarbageEnvelopePoisonsTheStream)
+{
+    FrameAssembler as;
+    as.feed(std::string("not-an-envelope 12\nxxxxxxxxxxxx"));
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+    // Once poisoned, even a well-formed frame is not recovered: there
+    // is no resynchronisation on a byte stream.
+    as.feed(runner::envelopeFrame(
+        runner::frameRecord("scsim-test", 1, "x\n")));
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+}
+
+TEST(FrameAssembler, OversizeFrameIsCorrupt)
+{
+    FrameAssembler as(1024);
+    as.feed(std::string("frame 4096\n"));
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+}
+
+TEST(FrameAssembler, EndlessHeaderLineIsCorrupt)
+{
+    FrameAssembler as;
+    as.feed(std::string(64, 'a'));  // no newline, too long for a header
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+}
+
+TEST(FrameAssembler, TrailingTokenOnEnvelopeIsCorrupt)
+{
+    FrameAssembler as;
+    as.feed(std::string("frame 3 extra\nabc"));
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+}
+
+// ---- frame-header peeking and version rejection -----------------------
+
+TEST(FarmProtocol, PeekFrameHeaderReadsMagicAndVersion)
+{
+    std::string frame = runner::frameRecord("scsim-hello", 7, "x\n");
+    runner::FrameHeader hdr;
+    ASSERT_TRUE(runner::peekFrameHeader(frame, hdr));
+    EXPECT_EQ(hdr.magic, "scsim-hello");
+    EXPECT_EQ(hdr.version, 7u);
+
+    EXPECT_FALSE(runner::peekFrameHeader("", hdr));
+    EXPECT_FALSE(runner::peekFrameHeader("scsim-hello", hdr));
+    EXPECT_FALSE(runner::peekFrameHeader("scsim-hello seven\n", hdr));
+}
+
+TEST(FarmProtocol, VersionSkewedRecordThrowsConfigErrorNamingVersions)
+{
+    // A peer speaking farm protocol v2: well-formed frame, higher
+    // version.  The decode must classify it as skew (not corruption)
+    // and requireRecord must name both versions in a ConfigError.
+    std::string future = runner::frameRecord(
+        kHelloMagic, kFarmProtocolVersion + 1, "role client\n");
+    HelloMsg hello;
+    EXPECT_EQ(parseHello(future, hello), WireDecode::VersionSkew);
+
+    try {
+        requireRecord(WireDecode::VersionSkew, future, "hello");
+        FAIL() << "requireRecord did not throw";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("version mismatch"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+    }
+}
+
+TEST(FarmProtocol, CorruptRecordThrowsConfigError)
+{
+    EXPECT_THROW_WITH(
+        requireRecord(WireDecode::Corrupt, "garbage", "submit"),
+        ConfigError, "corrupt");
+}
+
+TEST(FarmProtocol, IncompatibleHelloIsRejected)
+{
+    HelloMsg peer = localHello("client");
+    peer.jobWire += 1;
+    EXPECT_THROW_WITH(requireCompatibleHello(peer), ConfigError,
+                       "wire version mismatch");
+
+    HelloMsg peer2 = localHello("server");
+    peer2.resultFormat += 1;
+    EXPECT_THROW_WITH(requireCompatibleHello(peer2), ConfigError,
+                       "result format mismatch");
+
+    EXPECT_NO_THROW(requireCompatibleHello(localHello("client")));
+}
+
+// ---- protocol record round-trips --------------------------------------
+
+TEST(FarmProtocol, SubmitRoundTripsSpecExactly)
+{
+    SubmitMsg msg;
+    msg.name = "nightly tpch\nwith newline";
+    msg.detach = true;
+    msg.resume = true;
+    msg.spec = threeJobSpec();
+    msg.spec.jobs[1].salt = 42;
+    msg.spec.jobs[2].concurrent = true;
+
+    SubmitMsg back;
+    ASSERT_EQ(parseSubmit(serializeSubmit(msg), back), WireDecode::Ok);
+    EXPECT_EQ(back.name, msg.name);
+    EXPECT_TRUE(back.detach);
+    EXPECT_TRUE(back.resume);
+    ASSERT_EQ(back.spec.jobs.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(back.spec.jobs[i].tag, msg.spec.jobs[i].tag);
+        EXPECT_EQ(runner::jobKey(back.spec.jobs[i]),
+                  runner::jobKey(msg.spec.jobs[i]));
+    }
+    EXPECT_EQ(runner::sweepSpecHash(back.spec),
+              runner::sweepSpecHash(msg.spec));
+}
+
+TEST(FarmProtocol, JobDoneRoundTripsResultToTheByte)
+{
+    JobDoneMsg msg;
+    msg.index = 7;
+    msg.adopted = true;
+    msg.result.key = 0xdeadbeefcafe1234ull;
+    msg.result.status = JobStatus::Crashed;
+    msg.result.error = "worker died\nwith detail";
+    msg.result.termSignal = 9;
+    msg.result.attempts = 2;
+
+    JobDoneMsg back;
+    ASSERT_EQ(parseJobDone(serializeJobDone(msg), back), WireDecode::Ok);
+    EXPECT_EQ(back.index, 7u);
+    EXPECT_TRUE(back.adopted);
+    // Byte-identity of the embedded result is what manifest identity
+    // rests on: compare the serialized forms.
+    EXPECT_EQ(runner::serializeJobResult(back.result),
+              runner::serializeJobResult(msg.result));
+}
+
+TEST(FarmProtocol, StatusRoundTripsAndRendersJson)
+{
+    FarmStatus st;
+    st.build = "9.9.9";
+    st.protocol = kFarmProtocolVersion;
+    st.workers = 8;
+    st.busyWorkers = 3;
+    st.queueDepth = 11;
+    st.cacheHits = 3;
+    st.cacheMisses = 1;
+    st.jobsCoalesced = 5;
+    st.cacheMaxBytes = 1 << 20;
+
+    FarmStatus back;
+    ASSERT_EQ(parseStatus(serializeStatus(st), back), WireDecode::Ok);
+    EXPECT_EQ(back.build, "9.9.9");
+    EXPECT_EQ(back.workers, 8);
+    EXPECT_EQ(back.queueDepth, 11u);
+    EXPECT_EQ(back.jobsCoalesced, 5u);
+    EXPECT_DOUBLE_EQ(back.cacheHitRate(), 0.75);
+
+    std::string json = statusToJson(back);
+    EXPECT_NE(json.find("\"cacheHitRate\": 0.7500"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"queueDepth\": 11"), std::string::npos);
+}
+
+TEST(FarmProtocol, ErrorRoundTrips)
+{
+    ErrorMsg back;
+    ASSERT_EQ(parseError(serializeError("no such sweep\nline2"), back),
+              WireDecode::Ok);
+    EXPECT_EQ(back.message, "no such sweep\nline2");
+}
+
+// ---- result cache disk cap --------------------------------------------
+
+TEST(ResultCacheCap, TrimsOldestEntriesUnderTheCap)
+{
+    std::string dir = freshDir("cachecap");
+    SimStats stats;
+    stats.cycles = 123;
+    stats.instructions = 456;
+
+    std::uint64_t oneEntry;
+    {
+        runner::ResultCache probe(dir);
+        probe.store(1, stats);
+        oneEntry = probe.diskBytes();
+        ASSERT_GT(oneEntry, 0u);
+    }
+    std::filesystem::remove_all(dir);
+
+    // Cap at ~3 entries, store 8: the cache must stay under the cap
+    // and evict the least-recently-used files.
+    runner::ResultCache cache(dir, oneEntry * 3);
+    for (std::uint64_t k = 1; k <= 8; ++k)
+        cache.store(k, stats);
+    EXPECT_LE(cache.diskBytes(), oneEntry * 3);
+    EXPECT_GE(cache.evicted(), 5u);
+
+    // The most recent keys survived on disk: a fresh cache over the
+    // same directory still hits them.
+    runner::ResultCache reopened(dir);
+    SimStats out;
+    EXPECT_TRUE(reopened.lookup(8, out));
+    EXPECT_EQ(out.cycles, 123u);
+    EXPECT_FALSE(reopened.lookup(1, out));
+}
+
+TEST(ResultCacheCap, QuarantinedFilesArePrunedFirst)
+{
+    std::string dir = freshDir("cachecorrupt");
+    SimStats stats;
+    stats.cycles = 9;
+
+    std::uint64_t oneEntry;
+    {
+        runner::ResultCache cache(dir);
+        cache.store(1, stats);
+        cache.store(2, stats);
+        oneEntry = cache.diskBytes() / 2;
+        // Flip a payload byte in entry 1 so the next disk read
+        // quarantines it to `.corrupt`.
+        std::string path = dir + "/" + runner::keyToHex(1) + ".stats";
+        std::string text;
+        {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            text = ss.str();
+        }
+        text[text.size() - 2] ^= 1;
+        std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
+    }
+    {
+        runner::ResultCache cache(dir);  // fresh memory: disk reads
+        SimStats out;
+        EXPECT_FALSE(cache.lookup(1, out));
+        EXPECT_EQ(cache.quarantined(), 1u);
+    }
+    ASSERT_TRUE(std::filesystem::exists(
+        dir + "/" + runner::keyToHex(1) + ".corrupt"));
+
+    // A capped cache over the directory (cap below the current
+    // footprint) prunes the quarantined file before touching any
+    // intact entry.
+    runner::ResultCache capped(dir, oneEntry * 3 / 2);
+    EXPECT_GE(capped.evicted(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/" + runner::keyToHex(1) + ".corrupt"));
+    SimStats out;
+    EXPECT_TRUE(capped.lookup(2, out));
+}
+
+// ---- the daemon, end to end -------------------------------------------
+
+TEST_F(FarmTest, SubmitMatchesLocalManifestAtAnyWorkerCount)
+{
+    SweepSpec spec = threeJobSpec();
+    SweepResult local = localRun(spec);
+    std::string wantJson = runner::jsonManifest(spec, local);
+    std::string wantCsv = runner::csvManifest(spec, local);
+
+    for (int workers : { 1, 4 }) {
+        FarmServerOptions opts;
+        opts.workers = workers;
+        opts.cacheDir = freshDir(
+            "submit_w" + std::to_string(workers));
+        opts.quiet = true;
+        ServerRunner server(std::move(opts));
+
+        FarmClient client =
+            FarmClient::connectTcpPort(server.port());
+        std::size_t events = 0;
+        SweepResult res = client.submit(
+            spec, "match", false,
+            [&](const JobDoneMsg &) { ++events; });
+
+        EXPECT_EQ(events, 3u);
+        EXPECT_TRUE(res.allOk());
+        EXPECT_EQ(runner::jsonManifest(spec, res), wantJson)
+            << "workers=" << workers;
+        EXPECT_EQ(runner::csvManifest(spec, res), wantCsv);
+    }
+}
+
+TEST_F(FarmTest, ConcurrentDuplicateClientsShareTheComputation)
+{
+    SweepSpec spec = threeJobSpec();
+
+    FarmServerOptions opts;
+    opts.workers = 4;
+    opts.cacheDir = freshDir("dup");
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+    int port = server.port();
+
+    // Two clients, same spec, concurrently: every job is computed
+    // once — the duplicate lands as a cache hit or an in-flight
+    // coalesce — and both manifests are identical.
+    std::string json1, json2;
+    std::thread t1([&] {
+        FarmClient c = FarmClient::connectTcpPort(port);
+        SweepResult r = c.submit(spec, "dup1", false);
+        json1 = runner::jsonManifest(spec, r);
+    });
+    std::thread t2([&] {
+        FarmClient c = FarmClient::connectTcpPort(port);
+        SweepResult r = c.submit(spec, "dup2", false);
+        json2 = runner::jsonManifest(spec, r);
+    });
+    t1.join();
+    t2.join();
+    EXPECT_FALSE(json1.empty());
+    EXPECT_EQ(json1, json2);
+
+    FarmClient c = FarmClient::connectTcpPort(port);
+    FarmStatus st = c.status();
+    EXPECT_EQ(st.jobsCompleted, 6u);
+    // 3 unique jobs; the other 3 were deduplicated one way or the
+    // other, never simulated twice.
+    EXPECT_EQ(st.cacheMisses, 3u);
+    EXPECT_EQ(st.cacheHits + st.jobsCoalesced, 3u);
+    EXPECT_EQ(st.sweepsCompleted, 2u);
+}
+
+TEST_F(FarmTest, CrashedJobIsContainedAndReported)
+{
+    // appb's worker dies with a real SIGSEGV on every attempt: the
+    // job must come back Crashed, the other jobs Ok, and the daemon
+    // must survive to serve the next submission.
+    setenv("SCSIM_FAULT_CRASH", "appb", 1);
+
+    SweepSpec spec = threeJobSpec();
+    FarmServerOptions opts;
+    opts.workers = 2;
+    opts.cacheDir = freshDir("crash");
+    opts.crashAttempts = 2;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    SweepResult res = client.submit(spec, "crashy", false);
+    EXPECT_EQ(res.results[0].status, JobStatus::Ok);
+    EXPECT_EQ(res.results[1].status, JobStatus::Crashed);
+    EXPECT_TRUE(res.results[1].termSignal == SIGSEGV
+                || res.results[1].exitCode != 0)
+        << "signal " << res.results[1].termSignal;
+    EXPECT_EQ(res.results[2].status, JobStatus::Ok);
+    EXPECT_EQ(res.failed, 1u);
+
+    // Same daemon, next client: still alive, still serving.
+    unsetenv("SCSIM_FAULT_CRASH");
+    FarmClient again = FarmClient::connectTcpPort(server.port());
+    FarmStatus st = again.status();
+    EXPECT_EQ(st.jobsCrashed, 1u);
+    EXPECT_EQ(st.sweepsCompleted, 1u);
+}
+
+TEST_F(FarmTest, SigkilledWorkerJobIsRescheduled)
+{
+    // The first worker to claim appb SIGKILLs itself mid-kernel (the
+    // marker file makes it exactly one); the dispatcher's respawn must
+    // rerun the job cleanly so the sweep — and its manifest — comes
+    // out as if nothing happened.
+    std::string dir = freshDir("sigkill");
+    std::string marker = dir + "/killed-once";
+
+    SweepSpec spec = threeJobSpec();
+    SweepResult local = localRun(spec);
+
+    // Arm the fault only now: localRun spawns the same run-job
+    // subprocesses and would otherwise consume the one-shot marker.
+    // The token matches every app ("app*"), so whichever worker
+    // subprocess wins the marker race is the one that dies.
+    setenv("SCSIM_FAULT_CRASH_ONCE",
+           (marker + "!app:" + std::to_string(SIGKILL)).c_str(), 1);
+
+    FarmServerOptions opts;
+    opts.workers = 2;
+    opts.cacheDir = dir + "/cache";
+    opts.crashAttempts = 3;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    SweepResult res = client.submit(spec, "sigkill", false);
+
+    EXPECT_TRUE(std::filesystem::exists(marker))
+        << "the fault never fired";
+    EXPECT_TRUE(res.allOk());
+    int rescheduled = 0;
+    for (const JobResult &r : res.results)
+        if (r.attempts >= 2)
+            ++rescheduled;
+    EXPECT_EQ(rescheduled, 1)
+        << "exactly one worker should have been SIGKILLed and respawned";
+    EXPECT_EQ(runner::jsonManifest(spec, res),
+              runner::jsonManifest(spec, local));
+}
+
+TEST_F(FarmTest, DaemonRestartResumesFromTheJournal)
+{
+    SweepSpec spec = threeJobSpec();
+    SweepResult local = localRun(spec);
+    std::string stateDir = freshDir("resume_state");
+
+    // A previous daemon's life, cut short after two jobs: fabricate
+    // its journal exactly as the server would have written it.
+    {
+        std::uint64_t specHash = runner::sweepSpecHash(spec);
+        runner::JournalWriter j(
+            stateDir + "/" + runner::keyToHex(specHash) + ".journal",
+            specHash, spec.jobs.size(), /*fresh=*/true);
+        j.append(0, spec.jobs[0].tag, local.results[0]);
+        j.append(2, spec.jobs[2].tag, local.results[2]);
+    }
+
+    FarmServerOptions opts;
+    opts.workers = 2;
+    opts.cacheDir = freshDir("resume_cache");
+    opts.stateDir = stateDir;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    std::size_t adopted = 0;
+    SweepResult res = client.submit(
+        spec, "resumed", /*resume=*/true, [&](const JobDoneMsg &m) {
+            if (m.adopted)
+                ++adopted;
+        });
+    EXPECT_EQ(adopted, 2u);
+    EXPECT_EQ(res.resumed, 2u);
+    EXPECT_TRUE(res.allOk());
+    EXPECT_EQ(runner::jsonManifest(spec, res),
+              runner::jsonManifest(spec, local));
+
+    // Without --resume the same journal is ignored and rewritten.
+    FarmClient fresh = FarmClient::connectTcpPort(server.port());
+    SweepResult rerun = fresh.submit(spec, "fresh", false);
+    EXPECT_EQ(rerun.resumed, 0u);
+    EXPECT_EQ(runner::jsonManifest(spec, rerun),
+              runner::jsonManifest(spec, local));
+}
+
+TEST_F(FarmTest, InvalidSpecIsRejectedWholeWithTheDaemonsMessage)
+{
+    SweepSpec spec = threeJobSpec();
+    spec.jobs[2].tag = "a";  // duplicate of job 0
+
+    FarmServerOptions opts;
+    opts.workers = 1;
+    opts.cacheDir = freshDir("reject");
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    EXPECT_THROW_WITH(client.submit(spec, "bad", false), ConfigError,
+                       "duplicate sweep tag");
+}
+
+TEST_F(FarmTest, DetachedSubmissionRunsToCompletion)
+{
+    SweepSpec spec = threeJobSpec();
+    FarmServerOptions opts;
+    opts.workers = 2;
+    opts.cacheDir = freshDir("detach");
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    {
+        FarmClient client = FarmClient::connectTcpPort(server.port());
+        AcceptMsg accept = client.submitDetached(spec, "detach", false);
+        EXPECT_EQ(accept.jobCount, 3u);
+        EXPECT_EQ(accept.adopted, 0u);
+    }  // client gone; the sweep is the daemon's problem now
+
+    // Poll status until the detached sweep drains.
+    FarmClient watcher = FarmClient::connectTcpPort(server.port());
+    FarmStatus st;
+    for (int i = 0; i < 600; ++i) {
+        st = watcher.status();
+        if (st.sweepsCompleted >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_EQ(st.sweepsCompleted, 1u);
+    EXPECT_EQ(st.jobsCompleted, 3u);
+}
+
+TEST_F(FarmTest, StatusReportsWorkerAndCacheConfiguration)
+{
+    FarmServerOptions opts;
+    opts.workers = 3;
+    opts.cacheDir = freshDir("statuscfg");
+    opts.cacheMaxBytes = 123456;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    FarmStatus st = client.status();
+    EXPECT_EQ(st.workers, 3);
+    EXPECT_EQ(st.protocol, kFarmProtocolVersion);
+    EXPECT_EQ(st.build, buildVersion());
+    EXPECT_EQ(st.cacheMaxBytes, 123456u);
+    EXPECT_EQ(st.sessions, 1u);  // us
+}
+
+} // namespace
+} // namespace scsim::farm

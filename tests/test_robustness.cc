@@ -176,7 +176,7 @@ TEST_F(RobustnessTest, CorruptEntryIsQuarantinedAndRerun)
     SweepSpec spec;
     spec.add("only", tinyCfg(), tinyApp("solo"));
 
-    SweepEngine first{ SweepOptions{ 1, dir, false, nullptr } };
+    SweepEngine first{ SweepOptions{ .jobs = 1, .cacheDir = dir } };
     SweepResult cold = first.run(spec);
     ASSERT_TRUE(cold.allOk());
 
@@ -191,7 +191,7 @@ TEST_F(RobustnessTest, CorruptEntryIsQuarantinedAndRerun)
         out << text;
     }
 
-    SweepEngine second{ SweepOptions{ 1, dir, false, nullptr } };
+    SweepEngine second{ SweepOptions{ .jobs = 1, .cacheDir = dir } };
     SweepResult warm = second.run(spec);
     EXPECT_TRUE(warm.allOk());
     EXPECT_EQ(warm.cacheHits, 0u);      // corrupt entry did not hit
@@ -232,13 +232,13 @@ TEST_F(RobustnessTest, SweepRetriesTransientCacheWrite)
     // First disk write fails once; the engine's bounded backoff must
     // retry and land the entry.
     FaultInjector::instance().armCacheWriteFaults(1);
-    SweepEngine engine{ SweepOptions{ 1, dir, false, nullptr } };
+    SweepEngine engine{ SweepOptions{ .jobs = 1, .cacheDir = dir } };
     SweepResult res = engine.run(spec);
     EXPECT_TRUE(res.allOk());
     EXPECT_GE(FaultInjector::instance().cacheWriteAttempts(), 2u);
 
     FaultInjector::instance().reset();
-    SweepEngine warm{ SweepOptions{ 1, dir, false, nullptr } };
+    SweepEngine warm{ SweepOptions{ .jobs = 1, .cacheDir = dir } };
     EXPECT_EQ(warm.run(spec).cacheHits, 1u);
     std::filesystem::remove_all(dir);
 }
@@ -253,7 +253,7 @@ TEST_F(RobustnessTest, SweepSurvivesPersistentCacheFailure)
     // to a failed job.
     FaultInjector::instance().armCacheWriteFaults(1, 1u << 20);
     FaultInjector::instance().armCacheReadFaults(1, 1u << 20);
-    SweepEngine engine{ SweepOptions{ 1, dir, false, nullptr } };
+    SweepEngine engine{ SweepOptions{ .jobs = 1, .cacheDir = dir } };
     SweepResult res = engine.run(spec);
     EXPECT_TRUE(res.allOk());
     EXPECT_EQ(res.executed, 1u);
@@ -339,11 +339,11 @@ TEST_F(RobustnessTest, SweepContainsHangAndErrorJobs)
         }
     };
 
-    SweepEngine serial{ SweepOptions{ 1, "", false, nullptr } };
+    SweepEngine serial{ SweepOptions{ .jobs = 1, .cacheDir = "" } };
     SweepResult r1 = serial.run(spec);
     check(r1);
 
-    SweepEngine parallel{ SweepOptions{ 8, "", false, nullptr } };
+    SweepEngine parallel{ SweepOptions{ .jobs = 8, .cacheDir = "" } };
     SweepResult r8 = parallel.run(spec);
     check(r8);
 
@@ -365,7 +365,7 @@ TEST_F(RobustnessTest, FailFastSkipsRemainingJobs)
     for (const char *name : { "appA", "appB", "appC" })
         spec.add(name, tinyCfg(), tinyApp(name));
 
-    SweepOptions opts{ 1, "", false, nullptr };
+    SweepOptions opts{ .jobs = 1 };
     opts.failFast = true;
     SweepEngine engine{ opts };
     SweepResult res = engine.run(spec);
@@ -388,7 +388,7 @@ TEST_F(RobustnessTest, MaxFailuresBoundsTheDamage)
     spec.add("bad2", tinyCfg(), oversizedApp("bad2", 63));
     spec.add("good", tinyCfg(), tinyApp("good"));
 
-    SweepOptions opts{ 1, "", false, nullptr };
+    SweepOptions opts{ .jobs = 1 };
     opts.maxFailures = 2;
     SweepEngine engine{ opts };
     SweepResult res = engine.run(spec);

@@ -197,10 +197,10 @@ TEST(SweepEngine, ThreadCountInvariance)
 {
     SweepSpec spec = tinySpec();
 
-    SweepEngine serial{ SweepOptions{ 1, "", false, nullptr } };
+    SweepEngine serial{ SweepOptions{ .jobs = 1, .cacheDir = "" } };
     SweepResult r1 = serial.run(spec);
 
-    SweepEngine parallel{ SweepOptions{ 8, "", false, nullptr } };
+    SweepEngine parallel{ SweepOptions{ .jobs = 8, .cacheDir = "" } };
     SweepResult r8 = parallel.run(spec);
 
     ASSERT_EQ(r1.results.size(), r8.results.size());
@@ -222,12 +222,12 @@ TEST(SweepEngine, CacheHitsOnRerun)
     std::string dir = freshDir("cache_rerun");
     SweepSpec spec = tinySpec();
 
-    SweepEngine first{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepEngine first{ SweepOptions{ .jobs = 4, .cacheDir = dir } };
     SweepResult cold = first.run(spec);
     EXPECT_EQ(cold.executed, spec.jobs.size());
     EXPECT_EQ(cold.cacheHits, 0u);
 
-    SweepEngine second{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepEngine second{ SweepOptions{ .jobs = 4, .cacheDir = dir } };
     SweepResult warm = second.run(spec);
     EXPECT_EQ(warm.executed, 0u);
     EXPECT_EQ(warm.cacheHits, spec.jobs.size());
@@ -242,20 +242,20 @@ TEST(SweepEngine, ConfigChangeInvalidatesCache)
     std::string dir = freshDir("cache_invalidate");
     SweepSpec spec = tinySpec();
 
-    SweepEngine first{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepEngine first{ SweepOptions{ .jobs = 4, .cacheDir = dir } };
     first.run(spec);
 
     // An SM-count change must miss on every point...
     SweepSpec bigger = spec;
     for (SimJob &job : bigger.jobs)
         job.cfg.numSms = 4;
-    SweepEngine second{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepEngine second{ SweepOptions{ .jobs = 4, .cacheDir = dir } };
     SweepResult r = second.run(bigger);
     EXPECT_EQ(r.cacheHits, 0u);
     EXPECT_EQ(r.executed, bigger.jobs.size());
 
     // ...while the unchanged spec still hits everything.
-    SweepEngine third{ SweepOptions{ 4, dir, false, nullptr } };
+    SweepEngine third{ SweepOptions{ .jobs = 4, .cacheDir = dir } };
     EXPECT_EQ(third.run(spec).cacheHits, spec.jobs.size());
     std::filesystem::remove_all(dir);
 }
@@ -264,13 +264,13 @@ TEST(SweepEngine, SaltInvalidatesCache)
 {
     std::string dir = freshDir("cache_salt");
     SweepSpec spec = tinySpec();
-    SweepEngine first{ SweepOptions{ 2, dir, false, nullptr } };
+    SweepEngine first{ SweepOptions{ .jobs = 2, .cacheDir = dir } };
     first.run(spec);
 
     SweepSpec salted = spec;
     for (SimJob &job : salted.jobs)
         job.salt = 99;
-    SweepEngine second{ SweepOptions{ 2, dir, false, nullptr } };
+    SweepEngine second{ SweepOptions{ .jobs = 2, .cacheDir = dir } };
     EXPECT_EQ(second.run(salted).cacheHits, 0u);
     std::filesystem::remove_all(dir);
 }
@@ -279,7 +279,7 @@ TEST(SweepEngine, ByTagLookup)
 {
     SweepSpec spec;
     spec.add("only", tinyCfg(), tinyApp("solo"));
-    SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
+    SweepEngine engine{ SweepOptions{ .jobs = 1, .cacheDir = "" } };
     SweepResult r = engine.run(spec);
     EXPECT_GT(r.cycles("only"), 0u);
     EXPECT_EQ(&r.stats("only"), &r.results[0].stats);
@@ -290,7 +290,7 @@ TEST(SweepEngine, DuplicateTagFailsBeforeAnyJobRuns)
     SweepSpec spec;
     spec.add("dup", tinyCfg(), tinyApp("a"));
     spec.add("dup", tinyCfg(), tinyApp("b"));
-    SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
+    SweepEngine engine{ SweepOptions{ .jobs = 1, .cacheDir = "" } };
     // The message names the offending tag and app.
     EXPECT_THROW_WITH(engine.run(spec), ConfigError,
                       "duplicate sweep tag 'dup' (app 'b')");
@@ -303,7 +303,7 @@ TEST(SweepEngine, InvalidConfigReportsTagAndAppUpfront)
     GpuConfig bad = tinyCfg();
     bad.rfBanksPerSm = 6;   // not divisible by 4 sub-cores
     spec.add("broken", bad, tinyApp("b"));
-    SweepEngine engine{ SweepOptions{ 1, "", false, nullptr } };
+    SweepEngine engine{ SweepOptions{ .jobs = 1, .cacheDir = "" } };
     EXPECT_THROW_WITH(engine.run(spec), ConfigError,
                       "job 'broken' (app 'b')");
     EXPECT_THROW_WITH(engine.run(spec), ConfigError,

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sweep farm (`scsim_cli serve`).
+#
+# Drives the real daemon through the life it was built for:
+#
+#   1. `serve` with 4 workers on a unix socket;
+#   2. two clients submitting overlapping sweeps concurrently — the
+#      shared jobs must be computed once (cache hit or in-flight
+#      coalesce, visible in `status --json`);
+#   3. a worker subprocess SIGKILLed mid-run — its job must be
+#      rescheduled and the sweep must still finish clean;
+#   4. every farm manifest byte-identical (`cmp`) to a local
+#      `sweep --isolate` run of the same spec;
+#   5. a clean SIGTERM shutdown.
+#
+# Usage: tools/farm_smoke.sh [path-to-scsim_cli]   (default:
+#        build/tools/scsim_cli)
+
+set -euo pipefail
+
+CLI=${1:-build/tools/scsim_cli}
+if [ ! -x "$CLI" ]; then
+    echo "error: $CLI not found — build the default preset first" >&2
+    exit 2
+fi
+CLI=$(readlink -f "$CLI")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/scsim_farm_smoke.XXXXXX")
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Two overlapping sweeps: rod-bfs (under both designs) is shared.
+SWEEP_A=(--apps pb-sgemm,rod-bfs --designs RBA --scale 0.1)
+SWEEP_B=(--apps rod-bfs,rod-nw --designs RBA --scale 0.1)
+
+echo "== 1. local reference manifests (sweep --isolate)"
+"$CLI" sweep "${SWEEP_A[@]}" --isolate --jobs 2 --quiet \
+    --out "$WORK/ref_a.json" --csv "$WORK/ref_a.csv"
+"$CLI" sweep "${SWEEP_B[@]}" --isolate --jobs 2 --quiet \
+    --out "$WORK/ref_b.json" --csv "$WORK/ref_b.csv"
+
+echo "== 2. start the daemon (4 workers, unix socket)"
+SOCK=$WORK/farm.sock
+"$CLI" serve --socket "$SOCK" --workers 4 \
+    --cache-dir "$WORK/cache" --state-dir "$WORK/state" \
+    --quiet >"$WORK/serve.log" 2>&1 &
+DPID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$DPID" 2>/dev/null || {
+        echo "FAIL: daemon died on startup:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: socket never appeared" >&2; exit 1; }
+
+echo "== 3. two concurrent clients, one worker SIGKILLed mid-run"
+"$CLI" submit "${SWEEP_A[@]}" --socket "$SOCK" --name smoke-a --quiet \
+    --out "$WORK/farm_a.json" --csv "$WORK/farm_a.csv" &
+apid=$!
+"$CLI" submit "${SWEEP_B[@]}" --socket "$SOCK" --name smoke-b --quiet \
+    --out "$WORK/farm_b.json" --csv "$WORK/farm_b.csv" &
+bpid=$!
+
+# Catch one run-job worker subprocess of the daemon and SIGKILL it;
+# the dispatcher must respawn it and the sweeps must not notice.
+killed=0
+for _ in $(seq 1 80); do
+    w=$(pgrep -P "$DPID" -f run-job | head -1 || true)
+    if [ -n "$w" ]; then
+        kill -9 "$w" 2>/dev/null && killed=1 && break
+    fi
+    kill -0 "$apid" 2>/dev/null || kill -0 "$bpid" 2>/dev/null || break
+    sleep 0.05
+done
+[ "$killed" -eq 1 ] && echo "   killed worker subprocess $w" \
+    || echo "   note: jobs finished before a worker could be killed"
+
+wait "$apid" || { echo "FAIL: submit A exited nonzero" >&2; exit 1; }
+wait "$bpid" || { echo "FAIL: submit B exited nonzero" >&2; exit 1; }
+
+echo "== 4. farm manifests must be byte-identical to local ones"
+cmp "$WORK/ref_a.json" "$WORK/farm_a.json"
+cmp "$WORK/ref_a.csv"  "$WORK/farm_a.csv"
+cmp "$WORK/ref_b.json" "$WORK/farm_b.json"
+cmp "$WORK/ref_b.csv"  "$WORK/farm_b.csv"
+
+echo "== 5. status --json: both sweeps done, shared jobs deduplicated"
+"$CLI" status --socket "$SOCK" --json >"$WORK/status.json"
+field() { sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$WORK/status.json"; }
+sweeps=$(field sweepsCompleted)
+jobs=$(field jobsCompleted)
+hits=$(field cacheHits)
+coalesced=$(field jobsCoalesced)
+misses=$(field cacheMisses)
+if [ "$sweeps" -ne 2 ] || [ "$jobs" -ne 8 ]; then
+    echo "FAIL: expected 2 sweeps / 8 jobs, got $sweeps / $jobs" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+fi
+# 6 unique jobs across the two specs: the 2 shared ones must have
+# been served from the cache or coalesced in flight, never recomputed.
+if [ "$((hits + coalesced))" -lt 2 ] || [ "$misses" -gt 6 ]; then
+    echo "FAIL: dedup counters wrong: hits=$hits coalesced=$coalesced" \
+         "misses=$misses" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+fi
+
+echo "== 6. clean shutdown on SIGTERM"
+kill -TERM "$DPID"
+for _ in $(seq 1 100); do
+    kill -0 "$DPID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DPID" 2>/dev/null; then
+    echo "FAIL: daemon ignored SIGTERM" >&2
+    exit 1
+fi
+DPID=
+
+echo "PASS: farm smoke"

@@ -19,6 +19,15 @@
  *   scsim_cli run-job            (internal: one isolated sweep job;
  *                  reads an scsim-job record on stdin, writes an
  *                  scsim-jobres record on stdout)
+ *   scsim_cli serve [--socket /path.sock] [--port N|0] [--workers N]
+ *                  [--cache-dir DIR] [--cache-max-bytes N]
+ *                  [--state-dir DIR] [--timeout SECONDS] [--retries N]
+ *                  [--quiet]    (sweep farm daemon; 0 = ephemeral port)
+ *   scsim_cli submit [--socket /path.sock | --port N] [--name LABEL]
+ *                  [--detach] [--resume] [sweep selection options]
+ *                  [--out results.json] [--csv results.csv] [--quiet]
+ *   scsim_cli status [--socket /path.sock | --port N] [--json]
+ *   scsim_cli version            (build + wire protocol versions)
  *   scsim_cli list [--suite parboil]
  *   scsim_cli list-designs       (design points + config overlays)
  *   scsim_cli list-policies      (scheduler / assignment registries)
@@ -50,9 +59,16 @@
 #include <string>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "farm/farm_client.hh"
+#include "farm/farm_server.hh"
+#include "farm/protocol.hh"
 #include "runner/design.hh"
+#include "runner/journal.hh"
 #include "sim/engine.hh"
 #include "sim/registry.hh"
 #include "runner/job_key.hh"
@@ -74,22 +90,41 @@ struct Args
     std::vector<std::string> sets;
 };
 
+/**
+ * Whether @p flag takes no value.  `--resume` is the one
+ * command-dependent case: `sweep --resume FILE` names a journal,
+ * `submit --resume` asks the daemon to adopt its own.
+ */
+bool
+isBooleanFlag(const std::string &command, const std::string &flag)
+{
+    if (flag == "concurrent" || flag == "quiet" || flag == "fail-fast"
+        || flag == "isolate")
+        return true;
+    if (command == "submit"
+        && (flag == "detach" || flag == "resume"))
+        return true;
+    if (command == "status" && flag == "json")
+        return true;
+    return false;
+}
+
 Args
 parseArgs(int argc, char **argv)
 {
     Args args;
     if (argc < 2)
         scsim_fatal(
-            "usage: scsim_cli <run|sweep|run-job|list|list-designs|"
-            "list-policies|dump|info> [options]");
+            "usage: scsim_cli <run|sweep|run-job|serve|submit|status|"
+            "version|list|list-designs|list-policies|dump|info> "
+            "[options]");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string flag = argv[i];
         if (flag.rfind("--", 0) != 0)
             scsim_fatal("unexpected argument '%s'", flag.c_str());
         flag.erase(0, 2);
-        if (flag == "concurrent" || flag == "quiet"
-            || flag == "fail-fast" || flag == "isolate") {
+        if (isBooleanFlag(args.command, flag)) {
             args.options[flag] = "1";
             continue;
         }
@@ -240,20 +275,31 @@ splitList(const std::string &csv)
     return out;
 }
 
+/** The (application x design) selection shared by `sweep`/`submit`. */
+struct SweepSelection
+{
+    std::vector<AppSpec> apps;
+    std::vector<runner::Design> designs;
+    runner::SweepSpec spec;
+};
+
 /**
- * `sweep`: run (application x design) points on the parallel engine
- * and emit a structured manifest.  The Baseline design is always
- * included — speedups are reported against it.
+ * Build the sweep spec from the selection flags.  The Baseline design
+ * is always included — speedups are reported against it.  `sweep` and
+ * `submit` share this so a submitted sweep is, point for point, the
+ * sweep a local run would have executed (that identity is what makes
+ * their manifests comparable byte for byte).
  */
-int
-cmdSweep(const Args &args)
+SweepSelection
+selectSweep(const Args &args)
 {
     using namespace scsim::runner;
 
     GpuConfig base = configFor(args);
     double scale = scaleFor(args);
 
-    std::vector<AppSpec> apps;
+    SweepSelection sel;
+    std::vector<AppSpec> &apps = sel.apps;
     if (auto it = args.options.find("apps"); it != args.options.end()) {
         for (const std::string &name : splitList(it->second))
             apps.push_back(findApp(name, scale));
@@ -277,7 +323,8 @@ cmdSweep(const Args &args)
     if (apps.empty())
         scsim_fatal("sweep selected no applications");
 
-    std::vector<Design> designs { Design::Baseline };
+    std::vector<Design> &designs = sel.designs;
+    designs = { Design::Baseline };
     if (auto it = args.options.find("designs");
         it != args.options.end()) {
         if (it->second == "all") {
@@ -294,7 +341,7 @@ cmdSweep(const Args &args)
                     for (const DesignInfo &info : designCatalog())
                         std::fprintf(stderr, "  %-16s %s\n", info.name,
                                      info.description);
-                    return 1;
+                    std::exit(1);
                 }
                 if (d != Design::Baseline)
                     designs.push_back(d);
@@ -307,15 +354,87 @@ cmdSweep(const Args &args)
         salt = std::stoull(it->second);
     bool concurrent = args.options.count("concurrent") > 0;
 
-    SweepSpec spec;
     for (const AppSpec &app : apps) {
         for (Design d : designs) {
-            SimJob &job = spec.add(app.name + "|" + toString(d),
-                                   applyDesign(base, d), app);
+            SimJob &job = sel.spec.add(app.name + "|" + toString(d),
+                                       applyDesign(base, d), app);
             job.salt = salt;
             job.concurrent = concurrent;
         }
     }
+    return sel;
+}
+
+/**
+ * Per-app speedup table over Baseline (Baseline column = cycles).
+ * Failed or skipped points print their status instead of a nonsense
+ * ratio and are left out of the mean.
+ */
+void
+printSpeedupTable(const SweepSelection &sel,
+                  const runner::SweepResult &res)
+{
+    using namespace scsim::runner;
+
+    auto resultFor = [&](const std::string &tag) -> const JobResult & {
+        for (std::size_t i = 0; i < res.tags.size(); ++i)
+            if (res.tags[i] == tag)
+                return res.results[i];
+        scsim_panic("sweep result missing tag '%s'", tag.c_str());
+    };
+    std::printf("%-16s %12s", "app", "base-cycles");
+    for (Design d : sel.designs)
+        if (d != Design::Baseline)
+            std::printf(" %12s", toString(d));
+    std::printf("\n");
+    std::vector<std::vector<double>> perDesign(sel.designs.size());
+    for (const AppSpec &app : sel.apps) {
+        const JobResult &base = resultFor(
+            app.name + "|" + toString(Design::Baseline));
+        if (base.ok())
+            std::printf("%-16s %12llu", app.name.c_str(),
+                        static_cast<unsigned long long>(
+                            base.stats.cycles));
+        else
+            std::printf("%-16s %12s", app.name.c_str(),
+                        toString(base.status));
+        for (std::size_t i = 0; i < sel.designs.size(); ++i) {
+            if (sel.designs[i] == Design::Baseline)
+                continue;
+            const JobResult &r = resultFor(
+                app.name + "|" + toString(sel.designs[i]));
+            if (base.ok() && r.ok() && r.stats.cycles) {
+                double s = static_cast<double>(base.stats.cycles)
+                    / static_cast<double>(r.stats.cycles);
+                perDesign[i].push_back(s);
+                std::printf(" %12.3f", s);
+            } else {
+                std::printf(" %12s",
+                            r.ok() ? "-" : toString(r.status));
+            }
+        }
+        std::printf("\n");
+    }
+    if (sel.designs.size() > 1) {
+        std::printf("%-16s %12s", "MEAN", "");
+        for (std::size_t i = 0; i < sel.designs.size(); ++i)
+            if (sel.designs[i] != Design::Baseline)
+                std::printf(" %12.3f", mean(perDesign[i]));
+        std::printf("\n");
+    }
+}
+
+/**
+ * `sweep`: run (application x design) points on the parallel engine
+ * and emit a structured manifest.
+ */
+int
+cmdSweep(const Args &args)
+{
+    using namespace scsim::runner;
+
+    SweepSelection sel = selectSweep(args);
+    SweepSpec &spec = sel.spec;
 
     SweepOptions opts;
     if (auto it = args.options.find("jobs"); it != args.options.end())
@@ -323,6 +442,9 @@ cmdSweep(const Args &args)
     if (auto it = args.options.find("cache-dir");
         it != args.options.end())
         opts.cacheDir = it->second;
+    if (auto it = args.options.find("cache-max-bytes");
+        it != args.options.end())
+        opts.cacheMaxBytes = std::stoull(it->second);
     opts.progress = args.options.count("quiet") == 0;
     opts.failFast = args.options.count("fail-fast") > 0;
     if (auto it = args.options.find("max-failures");
@@ -353,55 +475,7 @@ cmdSweep(const Args &args)
     if (auto it = args.options.find("csv"); it != args.options.end())
         writeFile(it->second, csvManifest(spec, res));
 
-    // Per-app speedup table over Baseline (Baseline column = cycles).
-    // Failed or skipped points print their status instead of a
-    // nonsense ratio and are left out of the mean.
-    auto resultFor = [&](const std::string &tag) -> const JobResult & {
-        for (std::size_t i = 0; i < res.tags.size(); ++i)
-            if (res.tags[i] == tag)
-                return res.results[i];
-        scsim_panic("sweep result missing tag '%s'", tag.c_str());
-    };
-    std::printf("%-16s %12s", "app", "base-cycles");
-    for (Design d : designs)
-        if (d != Design::Baseline)
-            std::printf(" %12s", toString(d));
-    std::printf("\n");
-    std::vector<std::vector<double>> perDesign(designs.size());
-    for (const AppSpec &app : apps) {
-        const JobResult &base = resultFor(
-            app.name + "|" + toString(Design::Baseline));
-        if (base.ok())
-            std::printf("%-16s %12llu", app.name.c_str(),
-                        static_cast<unsigned long long>(
-                            base.stats.cycles));
-        else
-            std::printf("%-16s %12s", app.name.c_str(),
-                        toString(base.status));
-        for (std::size_t i = 0; i < designs.size(); ++i) {
-            if (designs[i] == Design::Baseline)
-                continue;
-            const JobResult &r = resultFor(
-                app.name + "|" + toString(designs[i]));
-            if (base.ok() && r.ok() && r.stats.cycles) {
-                double s = static_cast<double>(base.stats.cycles)
-                    / static_cast<double>(r.stats.cycles);
-                perDesign[i].push_back(s);
-                std::printf(" %12.3f", s);
-            } else {
-                std::printf(" %12s",
-                            r.ok() ? "-" : toString(r.status));
-            }
-        }
-        std::printf("\n");
-    }
-    if (designs.size() > 1) {
-        std::printf("%-16s %12s", "MEAN", "");
-        for (std::size_t i = 0; i < designs.size(); ++i)
-            if (designs[i] != Design::Baseline)
-                std::printf(" %12.3f", mean(perDesign[i]));
-        std::printf("\n");
-    }
+    printSpeedupTable(sel, res);
     std::fprintf(stderr, "%s\n", summaryLine(res, opts.jobs).c_str());
     return res.allOk() ? 0 : 1;
 }
@@ -422,6 +496,33 @@ cmdRunJob()
         if (!FaultInjector::instance().armCrashFromEnv(crash))
             scsim_warn("ignoring unparsable SCSIM_FAULT_CRASH='%s'",
                        crash);
+
+    // `<marker-path>!<token>[:abort|:<signum>]`: crash exactly one
+    // worker.  The first run-job to win the O_EXCL race on the marker
+    // arms the crash; every later spawn (the retry of that same job
+    // included) runs clean.  This is how tests prove a killed
+    // worker's job is rescheduled, not lost.
+    if (const char *once = std::getenv("SCSIM_FAULT_CRASH_ONCE")) {
+        std::string v = once;
+        auto bang = v.find('!');
+        if (bang == std::string::npos || bang == 0
+            || bang + 1 >= v.size()) {
+            scsim_warn("ignoring unparsable SCSIM_FAULT_CRASH_ONCE="
+                       "'%s' (want <marker-path>!<token>[:sig])", once);
+        } else {
+            std::string marker = v.substr(0, bang);
+            std::string spec = v.substr(bang + 1);
+            int fd = ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                            0644);
+            if (fd >= 0) {
+                ::close(fd);
+                if (!FaultInjector::instance().armCrashFromEnv(
+                        spec.c_str()))
+                    scsim_warn("ignoring unparsable crash spec '%s'",
+                               spec.c_str());
+            }
+        }
+    }
 
     std::string input(std::istreambuf_iterator<char>(std::cin), {});
     SimJob job;
@@ -460,6 +561,207 @@ cmdRunJob()
             != record.size()
         || std::fflush(stdout) != 0)
         scsim_fatal("run-job: cannot write result record to stdout");
+    return 0;
+}
+
+farm::FarmServer *g_server = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (g_server)
+        g_server->stop();  // async-signal-safe: atomic + pipe write
+}
+
+/**
+ * `serve`: the sweep farm daemon.  Binds the requested endpoints,
+ * prints where it is serving (the ephemeral-port line is what scripts
+ * parse), and runs until SIGINT/SIGTERM.
+ */
+int
+cmdServe(const Args &args)
+{
+    farm::FarmServerOptions opts;
+    if (auto it = args.options.find("socket"); it != args.options.end())
+        opts.socketPath = it->second;
+    if (auto it = args.options.find("port"); it != args.options.end())
+        opts.tcpPort = std::stoi(it->second);
+    if (opts.socketPath.empty() && opts.tcpPort < 0)
+        scsim_fatal("serve needs --socket PATH and/or --port N "
+                    "(0 = ephemeral)");
+    if (auto it = args.options.find("workers"); it != args.options.end())
+        opts.workers = std::stoi(it->second);
+    if (auto it = args.options.find("cache-dir");
+        it != args.options.end())
+        opts.cacheDir = it->second;
+    if (auto it = args.options.find("cache-max-bytes");
+        it != args.options.end())
+        opts.cacheMaxBytes = std::stoull(it->second);
+    if (auto it = args.options.find("state-dir");
+        it != args.options.end())
+        opts.stateDir = it->second;
+    if (auto it = args.options.find("timeout"); it != args.options.end())
+        opts.jobTimeoutSec = std::stod(it->second);
+    if (auto it = args.options.find("retries"); it != args.options.end())
+        opts.crashAttempts = std::stoi(it->second);
+    opts.quiet = args.options.count("quiet") > 0;
+
+    std::string socketPath = opts.socketPath;
+    farm::FarmServer server(std::move(opts));
+    g_server = &server;
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    // Intentionally on stdout and flushed: launch scripts read these
+    // lines to learn the endpoints (the ephemeral port especially).
+    if (!socketPath.empty())
+        std::printf("serving on unix socket %s\n", socketPath.c_str());
+    if (server.boundTcpPort() >= 0)
+        std::printf("serving on tcp port %d\n", server.boundTcpPort());
+    std::fflush(stdout);
+
+    server.run();
+    g_server = nullptr;
+    return 0;
+}
+
+farm::FarmClient
+connectFarm(const Args &args)
+{
+    if (auto it = args.options.find("socket"); it != args.options.end())
+        return farm::FarmClient::connectUnixSocket(it->second);
+    if (auto it = args.options.find("port"); it != args.options.end())
+        return farm::FarmClient::connectTcpPort(std::stoi(it->second));
+    scsim_fatal("%s needs --socket PATH or --port N to find the daemon",
+                args.command.c_str());
+}
+
+/**
+ * `submit`: run a sweep on the farm.  Same selection flags and same
+ * manifests as a local `sweep` — byte-identical, whichever workers
+ * (or whose earlier submissions, via the shared cache) produced the
+ * results.
+ */
+int
+cmdSubmit(const Args &args)
+{
+    using namespace scsim::runner;
+
+    SweepSelection sel = selectSweep(args);
+    farm::FarmClient client = connectFarm(args);
+
+    std::string name = "sweep";
+    if (auto it = args.options.find("name"); it != args.options.end())
+        name = it->second;
+    bool resume = args.options.count("resume") > 0;
+
+    if (args.options.count("detach")) {
+        farm::AcceptMsg accept =
+            client.submitDetached(sel.spec, name, resume);
+        std::printf("submitted sweep %llu: %llu jobs (%llu adopted), "
+                    "running detached\n",
+                    static_cast<unsigned long long>(accept.sweepId),
+                    static_cast<unsigned long long>(accept.jobCount),
+                    static_cast<unsigned long long>(accept.adopted));
+        return 0;
+    }
+
+    bool quiet = args.options.count("quiet") > 0;
+    std::size_t done = 0;
+    auto onJob = [&](const farm::JobDoneMsg &msg) {
+        ++done;
+        if (quiet)
+            return;
+        std::size_t i = static_cast<std::size_t>(msg.index);
+        const std::string &tag = i < sel.spec.jobs.size()
+            ? sel.spec.jobs[i].tag : std::string("?");
+        const JobResult &r = msg.result;
+        if (r.ok())
+            std::fprintf(stderr,
+                         "[%3zu/%zu] %-28s %12llu cycles  %s\n", done,
+                         sel.spec.jobs.size(), tag.c_str(),
+                         static_cast<unsigned long long>(
+                             r.stats.cycles),
+                         msg.adopted ? "(journal)"
+                                     : r.cached ? "(cache)" : "(farm)");
+        else
+            std::fprintf(stderr, "[%3zu/%zu] %-28s %s: %s\n", done,
+                         sel.spec.jobs.size(), tag.c_str(),
+                         toString(r.status), r.error.c_str());
+    };
+
+    SweepResult res = client.submit(sel.spec, name, resume, onJob);
+
+    if (auto it = args.options.find("out"); it != args.options.end())
+        writeFile(it->second, jsonManifest(sel.spec, res));
+    if (auto it = args.options.find("csv"); it != args.options.end())
+        writeFile(it->second, csvManifest(sel.spec, res));
+
+    printSpeedupTable(sel, res);
+    std::fprintf(stderr, "%s\n", summaryLine(res, 0).c_str());
+    return res.allOk() ? 0 : 1;
+}
+
+/** `status`: one daemon health snapshot, human-readable or JSON. */
+int
+cmdStatus(const Args &args)
+{
+    farm::FarmClient client = connectFarm(args);
+    farm::FarmStatus st = client.status();
+
+    if (args.options.count("json")) {
+        std::fputs(farm::statusToJson(st).c_str(), stdout);
+        return 0;
+    }
+    std::printf("daemon         : build %s, farm protocol v%u, up "
+                "%.1fs\n", st.build.c_str(), st.protocol,
+                static_cast<double>(st.uptimeMs) / 1e3);
+    std::printf("workers        : %d (%d busy)\n", st.workers,
+                st.busyWorkers);
+    std::printf("queue          : %llu queued, %llu in flight\n",
+                static_cast<unsigned long long>(st.queueDepth),
+                static_cast<unsigned long long>(st.inFlight));
+    std::printf("sessions       : %llu open\n",
+                static_cast<unsigned long long>(st.sessions));
+    std::printf("sweeps         : %llu active, %llu completed\n",
+                static_cast<unsigned long long>(st.sweepsActive),
+                static_cast<unsigned long long>(st.sweepsCompleted));
+    std::printf("jobs           : %llu completed (%llu failed, %llu "
+                "crashed, %llu coalesced)\n",
+                static_cast<unsigned long long>(st.jobsCompleted),
+                static_cast<unsigned long long>(st.jobsFailed),
+                static_cast<unsigned long long>(st.jobsCrashed),
+                static_cast<unsigned long long>(st.jobsCoalesced));
+    std::printf("cache          : %llu hits / %llu misses (%.1f%%), "
+                "%llu quarantined, %llu evicted\n",
+                static_cast<unsigned long long>(st.cacheHits),
+                static_cast<unsigned long long>(st.cacheMisses),
+                100.0 * st.cacheHitRate(),
+                static_cast<unsigned long long>(st.cacheQuarantined),
+                static_cast<unsigned long long>(st.cacheEvicted));
+    if (st.cacheMaxBytes)
+        std::printf("cache disk     : %llu of %llu bytes\n",
+                    static_cast<unsigned long long>(st.cacheDiskBytes),
+                    static_cast<unsigned long long>(st.cacheMaxBytes));
+    else
+        std::printf("cache disk     : %llu bytes (unbounded)\n",
+                    static_cast<unsigned long long>(st.cacheDiskBytes));
+    return 0;
+}
+
+/**
+ * `version`: every version a farm peer checks during its handshake.
+ * When serve and submit refuse each other, running this on both ends
+ * shows which number disagrees.
+ */
+int
+cmdVersion()
+{
+    std::printf("scsim_cli %s\n", farm::buildVersion());
+    std::printf("farm protocol  : v%u\n", farm::kFarmProtocolVersion);
+    std::printf("job wire       : v%u\n", runner::kJobWireVersion);
+    std::printf("result format  : v%u\n", runner::kResultFormatVersion);
+    std::printf("manifest       : v%d\n", runner::kManifestVersion);
     return 0;
 }
 
@@ -577,6 +879,14 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (args.command == "run-job")
             return cmdRunJob();
+        if (args.command == "serve")
+            return cmdServe(args);
+        if (args.command == "submit")
+            return cmdSubmit(args);
+        if (args.command == "status")
+            return cmdStatus(args);
+        if (args.command == "version")
+            return cmdVersion();
         if (args.command == "list")
             return cmdList(args);
         if (args.command == "list-designs")
@@ -588,7 +898,8 @@ main(int argc, char **argv)
         if (args.command == "info")
             return cmdInfo(args);
         scsim_fatal("unknown command '%s' (try run/sweep/run-job/"
-                    "list/list-designs/list-policies/dump/info)",
+                    "serve/submit/status/version/list/list-designs/"
+                    "list-policies/dump/info)",
                     args.command.c_str());
     } catch (const HangError &e) {
         std::fprintf(stderr, "fatal: %s\n%s", e.what(),
