@@ -19,10 +19,14 @@ FaultInjector::reset()
     std::lock_guard lock(mutex_);
     writeAttempts_ = writeFailFirst_ = writeFailLast_ = 0;
     readAttempts_ = readFailFirst_ = readFailLast_ = 0;
+    snapAttempts_ = snapFailFirst_ = snapFailLast_ = 0;
+    journalAttempts_ = journalFailFirst_ = journalFailLast_ = 0;
     hangToken_.clear();
     crashToken_.clear();
     crashSignal_ = 0;
     cacheFaultsArmed_.store(false, std::memory_order_relaxed);
+    snapshotFaultsArmed_.store(false, std::memory_order_relaxed);
+    journalFaultsArmed_.store(false, std::memory_order_relaxed);
     hangArmed_.store(false, std::memory_order_relaxed);
     crashArmed_.store(false, std::memory_order_relaxed);
 }
@@ -79,6 +83,86 @@ FaultInjector::cacheReadAttempts() const
 {
     std::lock_guard lock(mutex_);
     return readAttempts_;
+}
+
+void
+FaultInjector::armSnapshotWriteFaults(std::uint64_t nth,
+                                      std::uint64_t count)
+{
+    std::lock_guard lock(mutex_);
+    snapFailFirst_ = nth;
+    snapFailLast_ = count ? nth + count - 1 : 0;
+    snapshotFaultsArmed_.store(true, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFailSnapshotWrite()
+{
+    if (!snapshotFaultsArmed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard lock(mutex_);
+    ++snapAttempts_;
+    return snapFailFirst_ && snapAttempts_ >= snapFailFirst_
+        && snapAttempts_ <= snapFailLast_;
+}
+
+std::uint64_t
+FaultInjector::snapshotWriteAttempts() const
+{
+    std::lock_guard lock(mutex_);
+    return snapAttempts_;
+}
+
+bool
+FaultInjector::armSnapshotWriteFromEnv(const char *value)
+{
+    if (!value || !*value)
+        return false;
+    std::string spec(value);
+    std::uint64_t count = 1;
+    if (auto colon = spec.rfind(':'); colon != std::string::npos) {
+        char *end = nullptr;
+        unsigned long long n =
+            std::strtoull(spec.c_str() + colon + 1, &end, 10);
+        if (!end || *end != '\0' || n == 0)
+            return false;
+        count = n;
+        spec.erase(colon);
+    }
+    char *end = nullptr;
+    unsigned long long nth = std::strtoull(spec.c_str(), &end, 10);
+    if (!end || *end != '\0' || nth == 0)
+        return false;
+    armSnapshotWriteFaults(nth, count);
+    return true;
+}
+
+void
+FaultInjector::armJournalWriteFaults(std::uint64_t nth,
+                                     std::uint64_t count)
+{
+    std::lock_guard lock(mutex_);
+    journalFailFirst_ = nth;
+    journalFailLast_ = count ? nth + count - 1 : 0;
+    journalFaultsArmed_.store(true, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFailJournalWrite()
+{
+    if (!journalFaultsArmed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard lock(mutex_);
+    ++journalAttempts_;
+    return journalFailFirst_ && journalAttempts_ >= journalFailFirst_
+        && journalAttempts_ <= journalFailLast_;
+}
+
+std::uint64_t
+FaultInjector::journalWriteAttempts() const
+{
+    std::lock_guard lock(mutex_);
+    return journalAttempts_;
 }
 
 void

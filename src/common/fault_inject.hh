@@ -61,6 +61,37 @@ class FaultInjector
     std::uint64_t cacheWriteAttempts() const;
     std::uint64_t cacheReadAttempts() const;
 
+    // ---- snapshot / journal write faults ------------------------------
+    /**
+     * Make snapshot-file write attempts [nth, nth+count) fail as if
+     * the disk were full (ENOSPC).  Exercises the "degrade to running
+     * without checkpoints" path.
+     */
+    void armSnapshotWriteFaults(std::uint64_t nth,
+                                std::uint64_t count = 1);
+
+    /** Called before each snapshot file write; true = fail it. */
+    bool shouldFailSnapshotWrite();
+
+    std::uint64_t snapshotWriteAttempts() const;
+
+    /**
+     * Arm snapshot-write faults from an `SCSIM_FAULT_SNAPSHOT_WRITE`
+     * value: `<nth>` or `<nth>:<count>` (1-based attempt numbers).
+     * False when @p value is null/empty/bad.  Exists so tests can arm
+     * the fault inside a `run-job` subprocess.
+     */
+    bool armSnapshotWriteFromEnv(const char *value);
+
+    /** Same fail-Nth treatment for sweep-journal record appends. */
+    void armJournalWriteFaults(std::uint64_t nth,
+                               std::uint64_t count = 1);
+
+    /** Called before each journal record append; true = fail it. */
+    bool shouldFailJournalWrite();
+
+    std::uint64_t journalWriteAttempts() const;
+
     // ---- synthetic hang -----------------------------------------------
     /**
      * Force any simulation whose run-loop label (kernel or application
@@ -102,6 +133,8 @@ class FaultInjector
 
     mutable std::mutex mutex_;
     std::atomic<bool> cacheFaultsArmed_{ false };
+    std::atomic<bool> snapshotFaultsArmed_{ false };
+    std::atomic<bool> journalFaultsArmed_{ false };
     std::atomic<bool> hangArmed_{ false };
     std::atomic<bool> crashArmed_{ false };
 
@@ -111,6 +144,12 @@ class FaultInjector
     std::uint64_t readAttempts_ = 0;
     std::uint64_t readFailFirst_ = 0;
     std::uint64_t readFailLast_ = 0;
+    std::uint64_t snapAttempts_ = 0;
+    std::uint64_t snapFailFirst_ = 0;
+    std::uint64_t snapFailLast_ = 0;
+    std::uint64_t journalAttempts_ = 0;
+    std::uint64_t journalFailFirst_ = 0;
+    std::uint64_t journalFailLast_ = 0;
     std::string hangToken_;
     std::string crashToken_;
     int crashSignal_ = 0;

@@ -1,0 +1,155 @@
+#include "common/io_util.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace scsim {
+
+std::size_t
+readFull(int fd, void *buf, std::size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        ssize_t r = ::read(fd, p + done, n - done);
+        if (r > 0) {
+            done += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0) {           // clean EOF
+            errno = 0;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        break;                  // hard error, errno set
+    }
+    return done;
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        ssize_t r = ::write(fd, p + done, n - done);
+        if (r >= 0) {
+            done += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+ignoreSigpipe()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool
+isDiskFull(int err)
+{
+#ifdef EDQUOT
+    if (err == EDQUOT)
+        return true;
+#endif
+    return err == ENOSPC;
+}
+
+bool
+readFileAll(const std::string &path, std::string &out)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    bool ok = true;
+    for (;;) {
+        ssize_t r = ::read(fd, buf, sizeof(buf));
+        if (r > 0) {
+            out.append(buf, static_cast<std::size_t>(r));
+            continue;
+        }
+        if (r == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        ok = false;
+        break;
+    }
+    ::close(fd);
+    return ok;
+}
+
+bool
+writeFileAtomic(const std::string &path, std::string_view data,
+                const std::string &tmpSuffix, int *errnoOut)
+{
+    if (errnoOut)
+        *errnoOut = 0;
+    std::string tmp = path + ".tmp" + tmpSuffix;
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+        if (errnoOut)
+            *errnoOut = errno;
+        return false;
+    }
+    bool ok = writeFull(fd, data.data(), data.size());
+    int savedErrno = ok ? 0 : errno;
+    if (ok && ::fsync(fd) != 0) {
+        ok = false;
+        savedErrno = errno;
+    }
+    if (::close(fd) != 0 && ok) {
+        ok = false;
+        savedErrno = errno;
+    }
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ok = false;
+        savedErrno = errno;
+    }
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        if (errnoOut)
+            *errnoOut = savedErrno;
+    }
+    return ok;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    std::string prefix;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        std::size_t slash = path.find('/', pos);
+        if (slash == std::string::npos)
+            slash = path.size();
+        prefix = path.substr(0, slash);
+        pos = slash + 1;
+        if (prefix.empty() || prefix == ".")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+} // namespace scsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared low-level I/O helpers: signal-safe full reads/writes and
+ * atomic whole-file replacement.
+ *
+ * Every blocking read()/write() loop in the repo — farm sockets,
+ * subprocess pipes, journal appends, snapshot files — must retry
+ * EINTR (any signal delivery otherwise turns into a spurious short
+ * read) and must not die on SIGPIPE (a peer hanging up is an error
+ * return, not process death).  These helpers centralize both rules
+ * so the call sites cannot drift apart.
+ *
+ * writeFileAtomic() is the snapshot/cache durability idiom: write to
+ * a same-directory temp file, fsync, rename over the target.  Readers
+ * therefore only ever observe either the old complete file or the new
+ * complete file, never a torn write — which is what lets crash
+ * recovery trust any snapshot it finds on disk (modulo the wire-layer
+ * checksum).
+ */
+
+#ifndef SCSIM_COMMON_IO_UTIL_HH
+#define SCSIM_COMMON_IO_UTIL_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace scsim {
+
+/**
+ * Read exactly @p n bytes from @p fd, retrying EINTR and short
+ * reads.  Returns the number of bytes actually read: n on success,
+ * fewer on EOF, and on error returns the bytes read so far with
+ * errno set (errno == 0 means clean EOF).
+ */
+std::size_t readFull(int fd, void *buf, std::size_t n);
+
+/**
+ * Write exactly @p n bytes to @p fd, retrying EINTR and short
+ * writes.  Returns true when all bytes were written; false with
+ * errno set otherwise (EPIPE included — call ignoreSigpipe() first).
+ */
+bool writeFull(int fd, const void *buf, std::size_t n);
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent, thread-safe).  Daemons
+ * and workers call this once at startup so a hung-up socket or pipe
+ * surfaces as EPIPE from write() instead of killing the process.
+ */
+void ignoreSigpipe();
+
+/** Is @p err the errno of a full disk (ENOSPC) or quota (EDQUOT)? */
+bool isDiskFull(int err);
+
+/**
+ * Read the whole of @p path into @p out.  Returns false (with @p out
+ * unspecified) if the file cannot be opened or read.
+ */
+bool readFileAll(const std::string &path, std::string &out);
+
+/**
+ * Atomically replace @p path with @p data: write `path + ".tmp" +
+ * suffix`, fsync, rename.  On failure the temp file is removed and
+ * false is returned with the failing errno in @p errnoOut (0 when
+ * the cause carried no errno).  Never throws.
+ */
+bool writeFileAtomic(const std::string &path, std::string_view data,
+                     const std::string &tmpSuffix, int *errnoOut);
+
+/**
+ * mkdir -p: create @p path and any missing parents (mode 0755).
+ * Returns true when the directory exists afterwards; false with
+ * errno set otherwise.
+ */
+bool makeDirs(const std::string &path);
+
+} // namespace scsim
+
+#endif // SCSIM_COMMON_IO_UTIL_HH

@@ -65,6 +65,25 @@ class Rng
         }
     }
 
+    /** Raw generator state, for checkpointing. */
+    struct State
+    {
+        std::uint64_t s[4];
+    };
+
+    State
+    state() const
+    {
+        return State{{s_[0], s_[1], s_[2], s_[3]}};
+    }
+
+    void
+    setState(const State &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = st.s[i];
+    }
+
   private:
     std::uint64_t s_[4];
 };

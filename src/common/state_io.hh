@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Key-checked text serialization for simulator state snapshots.
+ *
+ * A snapshot payload is a sequence of `key value\n` lines.  Writers
+ * emit them in a fixed order; readers consume them in the *same*
+ * order, and every read names the key it expects.  A mismatch —
+ * wrong key, malformed number, truncated payload — throws CacheError
+ * immediately, naming both the expected key and what was found, so a
+ * version-skewed or damaged snapshot fails loudly at the first
+ * divergent field instead of silently misassigning state.
+ *
+ * The format is deliberately textual: snapshots are framed and
+ * FNV-checksummed at the wire layer (runner/wire.hh), so this layer
+ * optimizes for debuggability (`scsim_cli checkpoint show` prints the
+ * payload as-is) over density.  Doubles use %.17g, which round-trips
+ * IEEE-754 binary64 exactly.
+ */
+
+#ifndef SCSIM_COMMON_STATE_IO_HH
+#define SCSIM_COMMON_STATE_IO_HH
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "common/text_escape.hh"
+
+namespace scsim {
+
+/** Appends `key value` lines to a growing payload. */
+class StateWriter
+{
+  public:
+    void
+    u64(const char *key, std::uint64_t v)
+    {
+        char tmp[32];
+        std::snprintf(tmp, sizeof(tmp), "%" PRIu64, v);
+        line(key, tmp);
+    }
+
+    void
+    i64(const char *key, std::int64_t v)
+    {
+        char tmp[32];
+        std::snprintf(tmp, sizeof(tmp), "%" PRId64, v);
+        line(key, tmp);
+    }
+
+    void b(const char *key, bool v) { u64(key, v ? 1 : 0); }
+
+    void
+    f64(const char *key, double v)
+    {
+        char tmp[64];
+        std::snprintf(tmp, sizeof(tmp), "%.17g", v);
+        line(key, tmp);
+    }
+
+    /** Free text; newlines and backslashes are escaped to one line. */
+    void
+    str(const char *key, const std::string &v)
+    {
+        line(key, escapeLine(v));
+    }
+
+    const std::string &payload() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void
+    line(const char *key, std::string_view value)
+    {
+        buf_ += key;
+        buf_ += ' ';
+        buf_ += value;
+        buf_ += '\n';
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Sequential reader over a StateWriter payload.  Every accessor
+ * names the key it expects and throws CacheError when the payload
+ * disagrees.
+ */
+class StateReader
+{
+  public:
+    explicit StateReader(std::string_view payload)
+        : data_(payload)
+    {
+    }
+
+    std::uint64_t
+    u64(const char *key)
+    {
+        std::string v = value(key);
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long r = std::strtoull(v.c_str(), &end, 10);
+        if (errno != 0 || end == v.c_str() || *end != '\0')
+            scsim_throw(CacheError,
+                        "snapshot field '%s': bad u64 value '%s'", key,
+                        v.c_str());
+        return static_cast<std::uint64_t>(r);
+    }
+
+    std::int64_t
+    i64(const char *key)
+    {
+        std::string v = value(key);
+        char *end = nullptr;
+        errno = 0;
+        long long r = std::strtoll(v.c_str(), &end, 10);
+        if (errno != 0 || end == v.c_str() || *end != '\0')
+            scsim_throw(CacheError,
+                        "snapshot field '%s': bad i64 value '%s'", key,
+                        v.c_str());
+        return static_cast<std::int64_t>(r);
+    }
+
+    bool
+    b(const char *key)
+    {
+        std::uint64_t v = u64(key);
+        if (v > 1)
+            scsim_throw(CacheError,
+                        "snapshot field '%s': bad bool value %" PRIu64,
+                        key, v);
+        return v != 0;
+    }
+
+    double
+    f64(const char *key)
+    {
+        std::string v = value(key);
+        char *end = nullptr;
+        errno = 0;
+        double r = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0')
+            scsim_throw(CacheError,
+                        "snapshot field '%s': bad f64 value '%s'", key,
+                        v.c_str());
+        return r;
+    }
+
+    std::string
+    str(const char *key)
+    {
+        return unescapeLine(value(key));
+    }
+
+    bool atEnd() const { return pos_ >= data_.size(); }
+
+    /** Whole payload consumed?  Trailing data is corruption. */
+    void
+    expectEnd() const
+    {
+        if (!atEnd())
+            scsim_throw(CacheError,
+                        "snapshot payload has %zu trailing bytes",
+                        data_.size() - pos_);
+    }
+
+  private:
+    /** Next line's value, after checking its key is @p key. */
+    std::string
+    value(const char *key)
+    {
+        if (pos_ >= data_.size())
+            scsim_throw(CacheError,
+                        "snapshot truncated: expected field '%s'", key);
+        std::size_t eol = data_.find('\n', pos_);
+        if (eol == std::string_view::npos)
+            scsim_throw(CacheError,
+                        "snapshot field '%s': unterminated line", key);
+        std::string_view line = data_.substr(pos_, eol - pos_);
+        pos_ = eol + 1;
+        std::size_t sp = line.find(' ');
+        if (sp == std::string_view::npos)
+            scsim_throw(CacheError,
+                        "snapshot field '%s': malformed line '%.*s'",
+                        key, static_cast<int>(line.size()),
+                        line.data());
+        std::string_view gotKey = line.substr(0, sp);
+        if (gotKey != key)
+            scsim_throw(CacheError,
+                        "snapshot field mismatch: expected '%s', found "
+                        "'%.*s'",
+                        key, static_cast<int>(gotKey.size()),
+                        gotKey.data());
+        return std::string(line.substr(sp + 1));
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace scsim
+
+#endif // SCSIM_COMMON_STATE_IO_HH

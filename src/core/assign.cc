@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace scsim {
 
@@ -19,6 +20,30 @@ SrrAssigner::nextSubcore()
     int sub = static_cast<int>((w_ + w_ / n) % n);
     ++w_;
     return sub;
+}
+
+void
+RoundRobinAssigner::saveState(StateWriter &w) const
+{
+    w.u64("assign.w", w_);
+}
+
+void
+RoundRobinAssigner::loadState(StateReader &r)
+{
+    w_ = r.u64("assign.w");
+}
+
+void
+SrrAssigner::saveState(StateWriter &w) const
+{
+    w.u64("assign.w", w_);
+}
+
+void
+SrrAssigner::loadState(StateReader &r)
+{
+    w_ = r.u64("assign.w");
 }
 
 ShuffleAssigner::ShuffleAssigner(int numSubcores, std::uint64_t seed)
@@ -49,6 +74,33 @@ ShuffleAssigner::reset()
 {
     rng_ = Rng(seed_);
     refill();
+}
+
+void
+ShuffleAssigner::saveState(StateWriter &w) const
+{
+    Rng::State st = rng_.state();
+    for (std::uint64_t word : st.s)
+        w.u64("assign.rng", word);
+    for (int p : perm_)
+        w.i64("assign.perm", p);
+    w.u64("assign.pos", pos_);
+}
+
+void
+ShuffleAssigner::loadState(StateReader &r)
+{
+    Rng::State st;
+    for (std::uint64_t &word : st.s)
+        word = r.u64("assign.rng");
+    rng_.setState(st);
+    perm_.resize(static_cast<std::size_t>(n_));
+    for (int &p : perm_)
+        p = static_cast<int>(r.i64("assign.perm"));
+    pos_ = r.u64("assign.pos");
+    if (pos_ > perm_.size())
+        scsim_throw(CacheError, "snapshot: shuffle pos %zu out of range",
+                    pos_);
 }
 
 HashTableAssigner::HashTableAssigner(int numSubcores, int entries)
@@ -85,6 +137,24 @@ HashTableAssigner::nextSubcore()
     int sel0 = (e >> (4 + j)) & 1;
     int sel1 = (e >> j) & 1;
     return (sel1 << 1) | sel0;
+}
+
+void
+HashTableAssigner::saveState(StateWriter &w) const
+{
+    w.u64("assign.w", w_);
+    // The table is programmed deterministically at construction, but a
+    // test may have repatched it through setEntry — persist it too.
+    for (std::uint8_t e : table_)
+        w.u64("assign.entry", e);
+}
+
+void
+HashTableAssigner::loadState(StateReader &r)
+{
+    w_ = r.u64("assign.w");
+    for (std::uint8_t &e : table_)
+        e = static_cast<std::uint8_t>(r.u64("assign.entry"));
 }
 
 void

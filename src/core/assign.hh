@@ -34,6 +34,9 @@
 
 namespace scsim {
 
+class StateReader;
+class StateWriter;
+
 class SubcoreAssigner
 {
   public:
@@ -44,6 +47,10 @@ class SubcoreAssigner
     virtual int nextSubcore() = 0;
 
     virtual void reset() = 0;
+
+    /** Checkpointing; stateless policies keep the empty default. */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 
     int numSubcores() const { return n_; }
 
@@ -57,6 +64,8 @@ class RoundRobinAssigner : public SubcoreAssigner
     using SubcoreAssigner::SubcoreAssigner;
     int nextSubcore() override;
     void reset() override { w_ = 0; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     std::uint64_t w_ = 0;
@@ -68,6 +77,8 @@ class SrrAssigner : public SubcoreAssigner
     using SubcoreAssigner::SubcoreAssigner;
     int nextSubcore() override;
     void reset() override { w_ = 0; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     std::uint64_t w_ = 0;
@@ -79,6 +90,8 @@ class ShuffleAssigner : public SubcoreAssigner
     ShuffleAssigner(int numSubcores, std::uint64_t seed);
     int nextSubcore() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     void refill();
@@ -101,6 +114,8 @@ class HashTableAssigner : public SubcoreAssigner
 
     int nextSubcore() override;
     void reset() override { w_ = 0; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     /** Load the SRR pattern (repeats every 16 warps; 4 entries). */
     void programSrr();

@@ -1,5 +1,7 @@
 #include "core/exec_unit.hh"
 
+#include "common/state_io.hh"
+
 namespace scsim {
 
 PipeSet::PipeSet(const GpuConfig &cfg, int schedulers)
@@ -32,6 +34,20 @@ PipeSet::reset()
 {
     for (auto &pipe : pipes_)
         pipe.reset();
+}
+
+void
+PipeSet::saveState(StateWriter &w) const
+{
+    for (const ExecPipe &pipe : pipes_)
+        w.u64("pipe.busyUntil", pipe.busyUntil());
+}
+
+void
+PipeSet::loadState(StateReader &r)
+{
+    for (ExecPipe &pipe : pipes_)
+        pipe.setBusyUntil(r.u64("pipe.busyUntil"));
 }
 
 } // namespace scsim

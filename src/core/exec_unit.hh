@@ -19,6 +19,9 @@
 
 namespace scsim {
 
+class StateReader;
+class StateWriter;
+
 class ExecPipe
 {
   public:
@@ -37,6 +40,9 @@ class ExecPipe
     }
 
     void reset() { busyUntil_ = 0; }
+
+    Cycle busyUntil() const { return busyUntil_; }
+    void setBusyUntil(Cycle c) { busyUntil_ = c; }
 
   private:
     UnitKind kind_;
@@ -57,6 +63,10 @@ class PipeSet
     const std::vector<ExecPipe> &pipes() const { return pipes_; }
 
     void reset();
+
+    /** Checkpointing: only busyUntil_ is dynamic; shape is config. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     std::vector<ExecPipe> pipes_;

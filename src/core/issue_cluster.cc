@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 #include "core/sm_core.hh"
 
 namespace scsim {
@@ -393,6 +394,52 @@ IssueCluster::reset()
     std::fill(ageCounter_.begin(), ageCounter_.end(), 0u);
     onIdleSkip();
     head_ = 0;
+}
+
+void
+IssueCluster::saveState(StateWriter &w) const
+{
+    // grants_ and candidates_ are per-cycle scratch (cleared before
+    // every use) and are deliberately not part of the snapshot.
+    arbiter_.saveState(w);
+    collector_.saveState(w);
+    pipes_.saveState(w);
+    for (const auto &sched : scheds_)
+        sched->saveState(w);
+    for (const auto &list : schedWarps_) {
+        w.u64("ic.warps", list.size());
+        for (WarpSlot slot : list)
+            w.i64("ic.slot", slot);
+    }
+    for (std::uint32_t age : ageCounter_)
+        w.u64("ic.age", age);
+    for (int qlen : qlenRing_)
+        w.i64("ic.qlen", qlen);
+    w.u64("ic.head", head_);
+}
+
+void
+IssueCluster::loadState(StateReader &r)
+{
+    arbiter_.loadState(r);
+    collector_.loadState(r);
+    pipes_.loadState(r);
+    for (auto &sched : scheds_)
+        sched->loadState(r);
+    for (auto &list : schedWarps_) {
+        list.clear();
+        std::uint64_t n = r.u64("ic.warps");
+        for (std::uint64_t i = 0; i < n; ++i)
+            list.push_back(static_cast<WarpSlot>(r.i64("ic.slot")));
+    }
+    for (std::uint32_t &age : ageCounter_)
+        age = static_cast<std::uint32_t>(r.u64("ic.age"));
+    for (int &qlen : qlenRing_)
+        qlen = static_cast<int>(r.i64("ic.qlen"));
+    head_ = r.u64("ic.head");
+    if (head_ >= ringDepth_)
+        scsim_throw(CacheError, "snapshot: ring head %zu out of range",
+                    head_);
 }
 
 } // namespace scsim

@@ -29,6 +29,8 @@
 namespace scsim {
 
 class SmCore;
+class StateReader;
+class StateWriter;
 
 class IssueCluster
 {
@@ -78,6 +80,10 @@ class IssueCluster
     bool hasImmediateWork(const SmCore &sm) const;
 
     void reset();
+
+    /** Checkpointing: tables, arbiter/collector/pipes, queue ring. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     void dispatch(Cycle now, SmCore &sm);

@@ -1,6 +1,7 @@
 #include "core/operand_collector.hh"
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace scsim {
 
@@ -100,6 +101,34 @@ OperandCollector::reset()
     for (auto &cu : cus_)
         cu = CollectorUnit{};
     freeCount_ = static_cast<int>(cus_.size());
+}
+
+void
+OperandCollector::saveState(StateWriter &w) const
+{
+    for (const CollectorUnit &cu : cus_) {
+        w.b("cu.busy", cu.busy);
+        w.i64("cu.warp", cu.warp);
+        w.u64("cu.pending", cu.pendingOperands);
+        w.u64("cu.alloc", cu.allocCycle);
+        saveInstructionState(w, cu.inst);
+    }
+}
+
+void
+OperandCollector::loadState(StateReader &r)
+{
+    freeCount_ = 0;
+    for (CollectorUnit &cu : cus_) {
+        cu.busy = r.b("cu.busy");
+        cu.warp = static_cast<WarpSlot>(r.i64("cu.warp"));
+        cu.pendingOperands =
+            static_cast<std::uint32_t>(r.u64("cu.pending"));
+        cu.allocCycle = r.u64("cu.alloc");
+        cu.inst = loadInstructionState(r);
+        if (!cu.busy)
+            ++freeCount_;
+    }
 }
 
 } // namespace scsim

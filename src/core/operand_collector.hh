@@ -69,6 +69,10 @@ class OperandCollector
 
     void reset();
 
+    /** Checkpointing: every CU, including its staged instruction. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     std::vector<CollectorUnit> cus_;
     int freeCount_;

@@ -21,6 +21,9 @@
 
 namespace scsim {
 
+class StateReader;
+class StateWriter;
+
 /** A pending operand read for collector unit @c cu. */
 struct ReadRequest
 {
@@ -96,6 +99,10 @@ class RegFileArbiter
     }
 
     void reset();
+
+    /** Checkpointing: per-bank queues in FIFO order. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     int numBanks_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace scsim {
 
@@ -45,6 +46,18 @@ LrrScheduler::notifyIssued(WarpSlot slot, Cycle)
     lastIssued_ = slot;
 }
 
+void
+LrrScheduler::saveState(StateWriter &w) const
+{
+    w.i64("lrr.lastIssued", lastIssued_);
+}
+
+void
+LrrScheduler::loadState(StateReader &r)
+{
+    lastIssued_ = static_cast<WarpSlot>(r.i64("lrr.lastIssued"));
+}
+
 WarpSlot
 GtoScheduler::pick(const std::vector<WarpSlot> &ready,
                    const PickContext &ctx)
@@ -72,6 +85,18 @@ void
 GtoScheduler::notifyIssued(WarpSlot slot, Cycle)
 {
     greedyWarp_ = slot;
+}
+
+void
+GtoScheduler::saveState(StateWriter &w) const
+{
+    w.i64("gto.greedyWarp", greedyWarp_);
+}
+
+void
+GtoScheduler::loadState(StateReader &r)
+{
+    greedyWarp_ = static_cast<WarpSlot>(r.i64("gto.greedyWarp"));
 }
 
 WarpSlot

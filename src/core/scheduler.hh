@@ -28,6 +28,9 @@
 
 namespace scsim {
 
+class StateReader;
+class StateWriter;
+
 /** Everything a policy may inspect when picking. */
 struct PickContext
 {
@@ -54,6 +57,10 @@ class WarpScheduler
     virtual void notifyIssued(WarpSlot, Cycle) {}
 
     virtual void reset() {}
+
+    /** Checkpointing; stateless policies keep the empty default. */
+    virtual void saveState(StateWriter &) const {}
+    virtual void loadState(StateReader &) {}
 };
 
 /** 5-bit clamped RBA score of @p inst for warp @p slot (eq. in IV-A). */
@@ -67,6 +74,8 @@ class LrrScheduler : public WarpScheduler
                   const PickContext &ctx) override;
     void notifyIssued(WarpSlot slot, Cycle now) override;
     void reset() override { lastIssued_ = kNoWarp; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     WarpSlot lastIssued_ = kNoWarp;
@@ -79,6 +88,8 @@ class GtoScheduler : public WarpScheduler
                   const PickContext &ctx) override;
     void notifyIssued(WarpSlot slot, Cycle now) override;
     void reset() override { greedyWarp_ = kNoWarp; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     WarpSlot greedyWarp_ = kNoWarp;

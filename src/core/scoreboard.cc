@@ -1,6 +1,7 @@
 #include "core/scoreboard.hh"
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace scsim {
 
@@ -49,6 +50,34 @@ Scoreboard::reset()
 {
     pending_.reset();
     count_ = 0;
+}
+
+void
+Scoreboard::saveState(StateWriter &w) const
+{
+    for (int word = 0; word < kMaxRegs / 64; ++word) {
+        std::uint64_t bits = 0;
+        for (int b = 0; b < 64; ++b)
+            if (pending_[static_cast<std::size_t>(word * 64 + b)])
+                bits |= std::uint64_t(1) << b;
+        w.u64("sb.word", bits);
+    }
+}
+
+void
+Scoreboard::loadState(StateReader &r)
+{
+    pending_.reset();
+    count_ = 0;
+    for (int word = 0; word < kMaxRegs / 64; ++word) {
+        std::uint64_t bits = r.u64("sb.word");
+        for (int b = 0; b < 64; ++b) {
+            if (bits & (std::uint64_t(1) << b)) {
+                pending_.set(static_cast<std::size_t>(word * 64 + b));
+                ++count_;
+            }
+        }
+    }
 }
 
 } // namespace scsim

@@ -16,6 +16,9 @@
 
 namespace scsim {
 
+class StateReader;
+class StateWriter;
+
 class Scoreboard
 {
   public:
@@ -33,6 +36,10 @@ class Scoreboard
     bool pending(RegIndex reg) const;
 
     void reset();
+
+    /** Checkpointing: the pending mask as four u64 words. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     static constexpr int kMaxRegs = 256;

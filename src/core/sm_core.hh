@@ -12,7 +12,6 @@
 #define SCSIM_CORE_SM_CORE_HH
 
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "config/gpu_config.hh"
@@ -23,6 +22,10 @@
 #include "stats/stats.hh"
 
 namespace scsim {
+
+class StateReader;
+class StateWriter;
+struct Application;
 
 class SmCore
 {
@@ -57,6 +60,15 @@ class SmCore
     void onIdleSkip();
 
     void reset();
+
+    /**
+     * Checkpointing.  Kernel pointers (block table, warp programs)
+     * are serialized as indices into @p app and re-resolved on load,
+     * so a snapshot is only valid against the identical application —
+     * the surrounding frame pins the job key to enforce that.
+     */
+    void saveState(StateWriter &w, const Application &app) const;
+    void loadState(StateReader &r, const Application &app);
 
     // ---- callbacks used by IssueCluster -------------------------------
     WarpContext *warpTable() { return warps_.data(); }
@@ -130,8 +142,15 @@ class SmCore
     std::uint32_t smemUsed_ = 0;
     int activeBlocks_ = 0;
 
-    std::priority_queue<RegWriteEvent, std::vector<RegWriteEvent>,
-                        std::greater<RegWriteEvent>> events_;
+    /**
+     * Pending writeback events as an explicit min-heap on `when`
+     * (push_heap/pop_heap with std::greater, i.e. exactly the
+     * std::priority_queue discipline).  Keeping the backing vector
+     * visible makes the heap — including its tie-order-determining
+     * array layout — serializable verbatim, so a restored run pops
+     * equal-cycle events in the same order as the original.
+     */
+    std::vector<RegWriteEvent> events_;
 
     int l1PortsLeft_ = 0;
     bool rfTrace_ = false;

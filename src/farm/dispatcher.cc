@@ -162,6 +162,8 @@ Dispatcher::workerLoop()
             iso.selfExe = opts_.selfExe;
             iso.timeoutSec = opts_.jobTimeoutSec;
             iso.attempts = opts_.crashAttempts;
+            iso.checkpointCycles = opts_.checkpointCycles;
+            iso.snapshotDir = opts_.snapshotDir;
             auto start = std::chrono::steady_clock::now();
             runJobIsolated(q.job, iso, r);
             r.wallMs = std::chrono::duration<double, std::milli>(

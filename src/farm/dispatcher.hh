@@ -59,6 +59,12 @@ class Dispatcher
         int crashAttempts = 3;    //!< spawns before a crash is final
         std::string cacheDir;     //!< shared result cache; "" = memory
         std::uint64_t cacheMaxBytes = 0;  //!< disk cap; 0 = unbounded
+
+        /** Worker snapshot period (cycles); 0 = checkpointing off. */
+        std::uint64_t checkpointCycles = 0;
+
+        /** Directory for worker snapshot files; "" = off. */
+        std::string snapshotDir;
     };
 
     /** Called (from a worker thread) once per enqueued job. */

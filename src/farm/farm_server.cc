@@ -61,6 +61,14 @@ FarmServer::FarmServer(FarmServerOptions opts) : opts_(std::move(opts))
     d.crashAttempts = opts_.crashAttempts;
     d.cacheDir = opts_.cacheDir;
     d.cacheMaxBytes = opts_.cacheMaxBytes;
+    if (opts_.checkpointCycles) {
+        if (opts_.stateDir.empty())
+            scsim_throw(SimError,
+                        "checkpointing needs a state directory "
+                        "(--state-dir) to hold worker snapshots");
+        d.checkpointCycles = opts_.checkpointCycles;
+        d.snapshotDir = opts_.stateDir + "/snapshots";
+    }
     dispatcher_ = std::make_unique<Dispatcher>(
         std::move(d), [this](std::uint64_t sweepId, std::size_t index,
                              JobResult r) {

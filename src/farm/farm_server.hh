@@ -63,6 +63,14 @@ struct FarmServerOptions
     int crashAttempts = 3;       //!< spawns before a crash is final
     std::string selfExe;         //!< run-job binary; empty = self
     bool quiet = false;          //!< suppress per-event inform lines
+
+    /**
+     * Worker snapshot period (simulated cycles); 0 = off.  Snapshots
+     * land in `<stateDir>/snapshots`, so checkpointing requires a
+     * state directory; a daemon restart or killed worker then resumes
+     * an in-flight job from its snapshot instead of cycle 0.
+     */
+    std::uint64_t checkpointCycles = 0;
 };
 
 class FarmServer

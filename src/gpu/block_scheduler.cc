@@ -1,6 +1,8 @@
 #include "gpu/block_scheduler.hh"
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
+#include "trace/kernel.hh"
 
 namespace scsim {
 
@@ -62,6 +64,45 @@ BlockScheduler::reset()
     queues_.clear();
     rrSm_ = 0;
     rrKernel_ = 0;
+}
+
+void
+BlockScheduler::saveState(StateWriter &w, const Application &app) const
+{
+    w.u64("bs.queues", queues_.size());
+    for (const KernelQueue &q : queues_) {
+        int idx = -1;
+        for (std::size_t i = 0; i < app.kernels.size(); ++i)
+            if (&app.kernels[i] == q.kernel)
+                idx = static_cast<int>(i);
+        scsim_assert(idx >= 0, "queued kernel not in the application");
+        w.i64("bs.kernel", idx);
+        w.i64("bs.nextBlock", q.nextBlock);
+    }
+    w.u64("bs.rrSm", rrSm_);
+    w.u64("bs.rrKernel", rrKernel_);
+}
+
+void
+BlockScheduler::loadState(StateReader &r, const Application &app)
+{
+    queues_.clear();
+    std::uint64_t n = r.u64("bs.queues");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::int64_t idx = r.i64("bs.kernel");
+        if (idx < 0 || idx >= static_cast<std::int64_t>(
+                           app.kernels.size()))
+            scsim_throw(CacheError,
+                        "snapshot: queued kernel index %lld out of "
+                        "range",
+                        static_cast<long long>(idx));
+        KernelQueue q;
+        q.kernel = &app.kernels[static_cast<std::size_t>(idx)];
+        q.nextBlock = static_cast<int>(r.i64("bs.nextBlock"));
+        queues_.push_back(q);
+    }
+    rrSm_ = r.u64("bs.rrSm");
+    rrKernel_ = r.u64("bs.rrKernel");
 }
 
 } // namespace scsim

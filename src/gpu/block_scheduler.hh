@@ -44,6 +44,10 @@ class BlockScheduler
 
     void reset();
 
+    /** Checkpointing: kernel queues (as app indices) + RR cursors. */
+    void saveState(StateWriter &w, const Application &app) const;
+    void loadState(StateReader &r, const Application &app);
+
   private:
     struct KernelQueue
     {

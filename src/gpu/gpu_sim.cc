@@ -1,12 +1,15 @@
 #include "gpu/gpu_sim.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "common/state_io.hh"
 #include "core/issue_cluster.hh"
 #include "core/operand_collector.hh"
 #include "core/warp.hh"
+#include "stats/stats_io.hh"
 
 namespace scsim {
 
@@ -43,9 +46,10 @@ GpuSim::simulateKernel(const KernelDesc &kernel, Cycle now)
     SmCore::checkKernelFits(cfg_, kernel);
     blockSched_.reset();
     blockSched_.launch(kernel);
-    Cycle start = now;
+    kernelStart_ = now;
+    lastProgress_ = now;
     now = runLoop(now, kernel.name.c_str());
-    stats_.kernelSpans.emplace_back(kernel.name, now - start);
+    stats_.kernelSpans.emplace_back(kernel.name, now - kernelStart_);
     return now;
 }
 
@@ -68,8 +72,11 @@ GpuSim::runLoop(Cycle now, const char *what)
         return stats_.instructions + stats_.rfWrites
             + stats_.warpsCompleted + stats_.blocksCompleted;
     };
+    // lastProgress_ is a member set by the caller (kernel entry or
+    // snapshot restore); the retirement counter is recomputable, so a
+    // resume re-derives it here and observes the same watchdog
+    // deadline an uninterrupted run would.
     std::uint64_t lastRetired = retired();
-    Cycle lastProgress = now;
 
     // Test hook: an armed synthetic hang keeps the loop alive after
     // the workload drains, so the watchdog path can be exercised
@@ -81,6 +88,14 @@ GpuSim::runLoop(Cycle now, const char *what)
     const int forcedCrash = FaultInjector::instance().crashSignalFor(what);
 
     while (blockSched_.pending() || anySmBusy() || forcedHang) {
+        // Checkpoint at the iteration top, before any state mutation:
+        // a resume re-enters this loop at the saved `now` and replays
+        // the exact same dispatch/cycle sequence.  saveRunState is
+        // const, so installing a sink cannot perturb the simulation.
+        if (ckptEvery_ && ckptSink_ && now >= ckptNext_) {
+            ckptSink_(saveRunState(now), now);
+            ckptNext_ = now + ckptEvery_;
+        }
         blockSched_.dispatch(now);
         for (auto &sm : sms_)
             sm->cycle(now);
@@ -114,8 +129,8 @@ GpuSim::runLoop(Cycle now, const char *what)
         if (cfg_.hangWindowCycles) {
             if (std::uint64_t r = retired(); r != lastRetired) {
                 lastRetired = r;
-                lastProgress = now;
-            } else if (now - lastProgress >= cfg_.hangWindowCycles) {
+                lastProgress_ = now;
+            } else if (now - lastProgress_ >= cfg_.hangWindowCycles) {
                 throw HangError(
                     detail::format(
                         "'%s' hung: no forward progress in %llu "
@@ -191,21 +206,41 @@ GpuSim::dumpState(Cycle now) const
     return out;
 }
 
+void
+GpuSim::setCheckpoint(Cycle everyCycles, CheckpointSink sink)
+{
+    ckptEvery_ = everyCycles;
+    ckptSink_ = std::move(sink);
+}
+
+SimStats
+GpuSim::finishRun(Cycle now)
+{
+    stats_.cycles = now;
+    stats_.rfReadTrace.finalize(now);
+    mem_.exportStats(stats_);
+    app_ = nullptr;
+    return stats_;
+}
+
 SimStats
 GpuSim::runConcurrent(const Application &app)
 {
     app.validate();
     resetState();
+    app_ = &app;
+    concurrent_ = true;
+    kernelIdx_ = 0;
+    kernelStart_ = 0;
+    lastProgress_ = 0;
+    ckptNext_ = ckptEvery_;  // skip the useless cycle-0 snapshot
     blockSched_.reset();
     for (const auto &kernel : app.kernels) {
         SmCore::checkKernelFits(cfg_, kernel);
         blockSched_.launch(kernel);
     }
     Cycle now = runLoop(0, app.name.c_str());
-    stats_.cycles = now;
-    stats_.rfReadTrace.finalize(now);
-    mem_.exportStats(stats_);
-    return stats_;
+    return finishRun(now);
 }
 
 SimStats
@@ -213,13 +248,98 @@ GpuSim::run(const Application &app)
 {
     app.validate();
     resetState();
+    app_ = &app;
+    concurrent_ = false;
+    ckptNext_ = ckptEvery_;
     Cycle now = 0;
-    for (const auto &kernel : app.kernels)
-        now = simulateKernel(kernel, now);
-    stats_.cycles = now;
-    stats_.rfReadTrace.finalize(now);
-    mem_.exportStats(stats_);
-    return stats_;
+    for (std::size_t i = 0; i < app.kernels.size(); ++i) {
+        kernelIdx_ = i;
+        now = simulateKernel(app.kernels[i], now);
+    }
+    return finishRun(now);
+}
+
+std::string
+GpuSim::saveRunState(Cycle now) const
+{
+    scsim_assert(app_ != nullptr,
+                 "saveRunState outside a run() / resume()");
+    StateWriter w;
+    w.b("run.concurrent", concurrent_);
+    w.u64("run.kernelIdx", kernelIdx_);
+    w.u64("run.kernelStart", kernelStart_);
+    w.u64("run.now", now);
+    w.u64("run.lastProgress", lastProgress_);
+    // SimStats rides along as one escaped line of its own wire text;
+    // the two trace fields below cover the partially filled trailing
+    // window the stats payload (completed samples only) omits.
+    w.str("run.stats", serializeStatsPayload(stats_));
+    w.u64("run.traceStart", stats_.rfReadTrace.curWindowStart());
+    w.f64("run.traceSum", stats_.rfReadTrace.curSum());
+    mem_.saveState(w);
+    blockSched_.saveState(w, *app_);
+    for (const auto &sm : sms_)
+        sm->saveState(w, *app_);
+    return w.take();
+}
+
+SimStats
+GpuSim::resume(const Application &app, const std::string &payload)
+{
+    app.validate();
+    resetState();
+    app_ = &app;
+
+    StateReader r(payload);
+    concurrent_ = r.b("run.concurrent");
+    kernelIdx_ = r.u64("run.kernelIdx");
+    kernelStart_ = r.u64("run.kernelStart");
+    Cycle now = r.u64("run.now");
+    lastProgress_ = r.u64("run.lastProgress");
+
+    std::string statsPayload = r.str("run.stats");
+    SimStats restored;
+    if (!parseStatsPayload(statsPayload, restored))
+        scsim_throw(CacheError, "snapshot: malformed stats payload");
+    stats_ = std::move(restored);
+    if (stats_.issuePerScheduler.size()
+            != static_cast<std::size_t>(cfg_.numSms)
+        || (cfg_.numSms > 0
+            && stats_.issuePerScheduler[0].size()
+                   != static_cast<std::size_t>(cfg_.schedulersPerSm)))
+        scsim_throw(CacheError,
+                    "snapshot: issue matrix shape does not match the "
+                    "configuration");
+    Cycle traceStart = r.u64("run.traceStart");
+    double traceSum = r.f64("run.traceSum");
+    stats_.rfReadTrace.restoreState(stats_.rfReadTrace.samples(),
+                                    traceStart, traceSum);
+
+    mem_.loadState(r);
+    blockSched_.loadState(r, app);
+    for (auto &sm : sms_)
+        sm->loadState(r, app);
+    r.expectEnd();
+
+    ckptNext_ = ckptEvery_ ? now + ckptEvery_ : 0;
+
+    if (concurrent_) {
+        now = runLoop(now, app.name.c_str());
+        return finishRun(now);
+    }
+    if (kernelIdx_ >= app.kernels.size())
+        scsim_throw(CacheError,
+                    "snapshot: kernel index %zu out of range (%zu "
+                    "kernels)",
+                    kernelIdx_, app.kernels.size());
+    const KernelDesc &current = app.kernels[kernelIdx_];
+    now = runLoop(now, current.name.c_str());
+    stats_.kernelSpans.emplace_back(current.name, now - kernelStart_);
+    for (std::size_t i = kernelIdx_ + 1; i < app.kernels.size(); ++i) {
+        kernelIdx_ = i;
+        now = simulateKernel(app.kernels[i], now);
+    }
+    return finishRun(now);
 }
 
 SimStats

@@ -20,7 +20,9 @@
 #ifndef SCSIM_GPU_GPU_SIM_HH
 #define SCSIM_GPU_GPU_SIM_HH
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gpu/block_scheduler.hh"
@@ -66,16 +68,51 @@ class GpuSim
      */
     std::string dumpState(Cycle now) const;
 
+    /**
+     * Checkpointing.  When an interval is set, the sink is invoked at
+     * the top of the run loop every @p everyCycles simulated cycles
+     * with a serialized mid-run state payload.  Saving is strictly
+     * read-only: simulation results are bit-identical whether or not
+     * a sink is installed.
+     */
+    using CheckpointSink =
+        std::function<void(const std::string &payload, Cycle now)>;
+    void setCheckpoint(Cycle everyCycles, CheckpointSink sink);
+
+    /**
+     * Resume a run from a payload produced by a checkpoint sink.
+     * @p app must be the same application (same config, same kernel
+     * list) that produced the snapshot; any structural mismatch or
+     * damaged field throws CacheError, which callers treat as "start
+     * cold".  Completes the interrupted run and returns final stats
+     * identical to an uninterrupted run(app)/runConcurrent(app).
+     */
+    SimStats resume(const Application &app, const std::string &payload);
+
   private:
     void resetState();
     Cycle simulateKernel(const KernelDesc &kernel, Cycle now);
     Cycle runLoop(Cycle now, const char *what);
+    std::string saveRunState(Cycle now) const;
+    SimStats finishRun(Cycle now);
 
     GpuConfig cfg_;
     MemSystem mem_;
     SimStats stats_;
     std::vector<std::unique_ptr<SmCore>> sms_;
     BlockScheduler blockSched_;
+
+    // Checkpoint policy + run cursor (members so a snapshot taken
+    // inside runLoop can capture, and a resume can restore, the
+    // position within the kernel sequence and the watchdog state).
+    Cycle ckptEvery_ = 0;
+    Cycle ckptNext_ = 0;
+    CheckpointSink ckptSink_;
+    const Application *app_ = nullptr;
+    bool concurrent_ = false;
+    std::size_t kernelIdx_ = 0;
+    Cycle kernelStart_ = 0;
+    Cycle lastProgress_ = 0;
 };
 
 /** One-shot helper used throughout the bench harness. */

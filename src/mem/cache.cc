@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace scsim {
 
@@ -74,6 +75,32 @@ Cache::reset()
     for (auto &line : lines_)
         line = Line{};
     tick_ = accesses_ = misses_ = 0;
+}
+
+void
+Cache::saveState(StateWriter &w) const
+{
+    w.u64("cache.tick", tick_);
+    w.u64("cache.accesses", accesses_);
+    w.u64("cache.misses", misses_);
+    for (const Line &line : lines_) {
+        w.b("line.valid", line.valid);
+        w.u64("line.tag", line.tag);
+        w.u64("line.lastUse", line.lastUse);
+    }
+}
+
+void
+Cache::loadState(StateReader &r)
+{
+    tick_ = r.u64("cache.tick");
+    accesses_ = r.u64("cache.accesses");
+    misses_ = r.u64("cache.misses");
+    for (Line &line : lines_) {
+        line.valid = r.b("line.valid");
+        line.tag = r.u64("line.tag");
+        line.lastUse = r.u64("line.lastUse");
+    }
 }
 
 } // namespace scsim

@@ -16,6 +16,9 @@
 
 namespace scsim {
 
+class StateReader;
+class StateWriter;
+
 class Cache
 {
   public:
@@ -41,6 +44,10 @@ class Cache
     int numWays() const { return numWays_; }
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }
+
+    /** Checkpointing: tag array + LRU clock + counters. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     struct Line

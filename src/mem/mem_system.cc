@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/state_io.hh"
 
 namespace scsim {
 
@@ -105,6 +106,30 @@ MemSystem::reset()
     l2_.reset();
     l2Free_ = dramFree_ = 0.0;
     l1Accesses_ = l1Misses_ = 0;
+}
+
+void
+MemSystem::saveState(StateWriter &w) const
+{
+    for (const Cache &l1 : l1s_)
+        l1.saveState(w);
+    l2_.saveState(w);
+    w.f64("mem.l2Free", l2Free_);
+    w.f64("mem.dramFree", dramFree_);
+    w.u64("mem.l1Accesses", l1Accesses_);
+    w.u64("mem.l1Misses", l1Misses_);
+}
+
+void
+MemSystem::loadState(StateReader &r)
+{
+    for (Cache &l1 : l1s_)
+        l1.loadState(r);
+    l2_.loadState(r);
+    l2Free_ = r.f64("mem.l2Free");
+    dramFree_ = r.f64("mem.dramFree");
+    l1Accesses_ = r.u64("mem.l1Accesses");
+    l1Misses_ = r.u64("mem.l1Misses");
 }
 
 } // namespace scsim

@@ -53,6 +53,10 @@ class MemSystem
 
     void reset();
 
+    /** Checkpointing: caches, bandwidth clocks, L1 counters. */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
   private:
     const GpuConfig &cfg_;
     std::vector<Cache> l1s_;

@@ -33,8 +33,16 @@ runJobIsolated(const SimJob &job, const IsolatedRunOptions &opts,
     const std::string input = serializeJob(job);
     const int attempts = std::max(1, opts.attempts);
 
+    std::vector<std::string> argv{ exe, "run-job" };
+    if (opts.checkpointCycles && !opts.snapshotDir.empty()) {
+        argv.push_back("--checkpoint-cycles");
+        argv.push_back(std::to_string(opts.checkpointCycles));
+        argv.push_back("--state-dir");
+        argv.push_back(opts.snapshotDir);
+    }
+
     for (int attempt = 1;; ++attempt) {
-        SubprocessResult sub = runSubprocess({ exe, "run-job" }, input,
+        SubprocessResult sub = runSubprocess(argv, input,
                                              opts.timeoutSec);
         r.attempts = attempt;
         if (sub.exitedCleanly()) {

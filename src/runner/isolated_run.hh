@@ -34,6 +34,18 @@ struct IsolatedRunOptions
 
     /** Spawn attempts before a crash is final (>= 1). */
     int attempts = 3;
+
+    /**
+     * Snapshot period in simulated cycles; 0 = checkpointing off.
+     * When set (with @ref snapshotDir), the worker writes a snapshot
+     * at this cadence and a respawned attempt resumes from the newest
+     * valid one instead of cycle 0 — the snapshot file outlives the
+     * killed process, so the resume needs no parent-side bookkeeping.
+     */
+    std::uint64_t checkpointCycles = 0;
+
+    /** Directory for `<job-key>.snap` files (created if missing). */
+    std::string snapshotDir;
 };
 
 /**

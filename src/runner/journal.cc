@@ -10,6 +10,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/fault_inject.hh"
+#include "common/io_util.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/text_escape.hh"
@@ -136,7 +138,9 @@ JournalWriter::JournalWriter(const std::string &path,
                     path.c_str(), std::strerror(errno));
     off_t size = ::lseek(fd_, 0, SEEK_END);
     if (size == 0) {
-        writeAll(headerLine(specHash, jobCount));
+        if (int err = writeAll(headerLine(specHash, jobCount)))
+            scsim_throw(CacheError, "write to journal '%s' failed: %s",
+                        path.c_str(), std::strerror(err));
         if (::fsync(fd_) != 0)
             scsim_throw(CacheError, "fsync of journal '%s' failed: %s",
                         path.c_str(), std::strerror(errno));
@@ -149,20 +153,12 @@ JournalWriter::~JournalWriter()
         ::close(fd_);
 }
 
-void
+int
 JournalWriter::writeAll(const std::string &text)
 {
-    std::size_t done = 0;
-    while (done < text.size()) {
-        ssize_t n = ::write(fd_, text.data() + done, text.size() - done);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            scsim_throw(CacheError, "write to journal '%s' failed: %s",
-                        path_.c_str(), std::strerror(errno));
-        }
-        done += static_cast<std::size_t>(n);
-    }
+    if (!writeFull(fd_, text.data(), text.size()))
+        return errno;
+    return 0;
 }
 
 void
@@ -175,10 +171,27 @@ JournalWriter::append(std::size_t index, const std::string &tag,
         + escapeLine(tag) + "\n" + payload + "\n";
 
     std::lock_guard lock(mutex_);
-    writeAll(record);
-    if (::fsync(fd_) != 0)
-        scsim_throw(CacheError, "fsync of journal '%s' failed: %s",
-                    path_.c_str(), std::strerror(errno));
+    if (dead_)
+        return;
+    int err = FaultInjector::instance().shouldFailJournalWrite()
+        ? ENOSPC
+        : writeAll(record);
+    if (err == 0 && ::fsync(fd_) != 0)
+        err = errno;
+    if (err == 0)
+        return;
+    if (isDiskFull(err)) {
+        // Persistence is best-effort once the disk fills: warn once,
+        // then run the rest of the sweep without a journal rather
+        // than poisoning every remaining job with CacheError.
+        dead_ = true;
+        scsim_warn("journal '%s': %s; continuing without journaling "
+                   "(this sweep will not resume past the last durable "
+                   "record)", path_.c_str(), std::strerror(err));
+        return;
+    }
+    scsim_throw(CacheError, "write to journal '%s' failed: %s",
+                path_.c_str(), std::strerror(err));
 }
 
 } // namespace scsim::runner

@@ -62,7 +62,13 @@ JournalContents readJournal(const std::string &path);
  * Appender.  Construction writes (and fsyncs) the header when the
  * file is empty or @p fresh asked for truncation; append() fsyncs
  * every record, so anything this class returned from is on disk.
- * All methods throw CacheError on I/O faults.
+ * Construction throws CacheError on I/O faults.
+ *
+ * A full disk (ENOSPC/EDQUOT) mid-sweep must not take the sweep down
+ * with it: append() then warns once, stops journaling, and every
+ * later append is a silent no-op — the sweep finishes, it just is not
+ * resumable past the last durable record.  Other I/O faults still
+ * throw CacheError.
  */
 class JournalWriter
 {
@@ -74,15 +80,20 @@ class JournalWriter
     JournalWriter(const JournalWriter &) = delete;
     JournalWriter &operator=(const JournalWriter &) = delete;
 
-    /** Durably append one finished job. */
+    /** Durably append one finished job (no-op after disk-full). */
     void append(std::size_t index, const std::string &tag,
                 const JobResult &result);
 
+    /** Has a full disk turned appends into no-ops? */
+    bool degraded() const { return dead_; }
+
   private:
-    void writeAll(const std::string &text);
+    /** Write all of @p text; returns 0 or the failing errno. */
+    int writeAll(const std::string &text);
 
     std::string path_;
     int fd_ = -1;
+    bool dead_ = false;  //!< disk filled up; appends are no-ops now
     std::mutex mutex_;
 };
 

@@ -4,13 +4,13 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
-#include <mutex>
 
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/io_util.hh"
 #include "common/logging.hh"
 
 namespace scsim::runner {
@@ -21,18 +21,6 @@ using Clock = std::chrono::steady_clock;
 
 /** Grace between SIGTERM and SIGKILL when the deadline fires. */
 constexpr auto kKillGrace = std::chrono::seconds(2);
-
-/**
- * Writing to a child that died mid-record must surface as EPIPE from
- * write(), not a process-killing SIGPIPE.  Done once, process-wide;
- * nothing in the simulator wants the default disposition.
- */
-void
-ignoreSigpipe()
-{
-    static std::once_flag once;
-    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
-}
 
 void
 setNonblocking(int fd)

@@ -105,6 +105,8 @@ SweepEngine::runIsolated(const SimJob &job, JobResult &r)
     iso.selfExe = opts_.selfExe;
     iso.timeoutSec = opts_.jobTimeoutSec;
     iso.attempts = opts_.crashAttempts;
+    iso.checkpointCycles = opts_.checkpointCycles;
+    iso.snapshotDir = opts_.snapshotDir;
     runJobIsolated(job, iso, r);
 }
 

@@ -122,6 +122,17 @@ struct SweepOptions
     int crashAttempts = 3;
 
     /**
+     * Snapshot period (simulated cycles) for isolated workers; 0 =
+     * checkpointing off.  A crashed/timed-out attempt then resumes
+     * from its last snapshot instead of cycle 0.  Needs
+     * @ref snapshotDir.
+     */
+    std::uint64_t checkpointCycles = 0;
+
+    /** Directory for worker snapshot files (created if missing). */
+    std::string snapshotDir;
+
+    /**
      * Append every finished job to this journal (see runner/journal.hh)
      * so an interrupted sweep can resume.  Empty = no journal.
      */

@@ -18,6 +18,7 @@ namespace {
 constexpr const char *kStatsMagic = "scsim-result";
 constexpr const char *kJobMagic = "scsim-job";
 constexpr const char *kJobResMagic = "scsim-jobres";
+constexpr const char *kSnapshotMagic = "scsim-snapshot";
 
 void
 putLine(std::string &out, const char *key, const std::string &value)
@@ -501,6 +502,46 @@ decodeJobResult(const std::string &text, JobResult &out)
         }
     }
     out = std::move(r);
+    return WireDecode::Ok;
+}
+
+std::string
+serializeSnapshot(std::uint64_t jobKey, const std::string &simState)
+{
+    // First payload line pins the job key; the simulator state (its
+    // own line-oriented `key value` text) follows verbatim, so the
+    // record round-trips to the byte.
+    std::string payload;
+    putLine(payload, "key", keyToHex(jobKey));
+    payload += simState;
+    return frameRecord(kSnapshotMagic, kSnapshotVersion, payload);
+}
+
+WireDecode
+decodeSnapshot(const std::string &text, std::uint64_t &jobKey,
+               std::string &simState)
+{
+    std::string payload;
+    WireDecode d = unframeRecord(kSnapshotMagic, kSnapshotVersion, text,
+                                 payload);
+    if (d != WireDecode::Ok)
+        return d;
+
+    auto nl = payload.find('\n');
+    if (nl == std::string::npos)
+        return WireDecode::Corrupt;
+    std::istringstream ls(payload.substr(0, nl));
+    std::string kw, hex;
+    std::string trailing;
+    if (!(ls >> kw >> hex) || kw != "key" || (ls >> trailing))
+        return WireDecode::Corrupt;
+    char *end = nullptr;
+    std::uint64_t key = std::strtoull(hex.c_str(), &end, 16);
+    if (!end || *end != '\0')
+        return WireDecode::Corrupt;
+
+    jobKey = key;
+    simState = payload.substr(nl + 1);
     return WireDecode::Ok;
 }
 

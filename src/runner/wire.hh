@@ -51,6 +51,9 @@ using StatsDecode = WireDecode;
 /** Version of the job / job-result wire records (IPC + journal). */
 inline constexpr std::uint32_t kJobWireVersion = 1;
 
+/** Version of the mid-run snapshot record (`scsim-snapshot`). */
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
 /** `<magic> v<version> fnv1a <checksum>\n` + payload. */
 std::string frameRecord(const char *magic, std::uint32_t version,
                         const std::string &payload);
@@ -157,6 +160,23 @@ std::string serializeJobResult(const JobResult &r);
 
 /** Decode a serializeJobResult record into @p out. */
 WireDecode decodeJobResult(const std::string &text, JobResult &out);
+
+// ---- Snapshot records (mid-run checkpoint files) ----------------------
+
+/**
+ * Framed record holding a mid-run simulator snapshot: the key of the
+ * job it belongs to (a resume refuses a snapshot for any other job)
+ * plus GpuSim's serialized run state, verbatim.  Like every other
+ * record, damage decodes as Corrupt and an older/newer format as
+ * VersionSkew — both of which the resume path treats as "no snapshot:
+ * start cold", never as a job failure.
+ */
+std::string serializeSnapshot(std::uint64_t jobKey,
+                              const std::string &simState);
+
+/** Decode a serializeSnapshot record; outputs touched only on Ok. */
+WireDecode decodeSnapshot(const std::string &text, std::uint64_t &jobKey,
+                          std::string &simState);
 
 } // namespace scsim::runner
 

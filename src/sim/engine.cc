@@ -30,6 +30,17 @@ SimEngine::addObserver(EngineObserver obs)
     observers_.push_back(std::move(obs));
 }
 
+void
+SimEngine::setCheckpointInterval(Cycle everyCycles)
+{
+    sim_->setCheckpoint(
+        everyCycles, [this](const std::string &payload, Cycle now) {
+            for (const EngineObserver &o : observers_)
+                if (o.onCheckpoint)
+                    o.onCheckpoint(payload, now);
+        });
+}
+
 SimStats
 SimEngine::dispatch(const Application &app, bool concurrent)
 {
@@ -37,6 +48,21 @@ SimEngine::dispatch(const Application &app, bool concurrent)
         if (o.onRunStart)
             o.onRunStart(sim_->config(), app);
     SimStats stats = concurrent ? sim_->runConcurrent(app) : sim_->run(app);
+    for (const EngineObserver &o : observers_)
+        if (o.onRunEnd)
+            o.onRunEnd(app, stats);
+    return stats;
+}
+
+SimStats
+SimEngine::resumeApp(const AppSpec &spec, std::uint64_t salt,
+                     const std::string &payload)
+{
+    Application app = buildApp(spec, salt);
+    for (const EngineObserver &o : observers_)
+        if (o.onRunStart)
+            o.onRunStart(sim_->config(), app);
+    SimStats stats = sim_->resume(app, payload);
     for (const EngineObserver &o : observers_)
         if (o.onRunEnd)
             o.onRunEnd(app, stats);

@@ -47,6 +47,12 @@ struct EngineObserver
     std::function<void(const GpuConfig &, const Application &)> onRunStart;
     /** After the simulation finished, with its stats. */
     std::function<void(const Application &, const SimStats &)> onRunEnd;
+    /**
+     * Mid-run checkpoint: a serialized GpuSim run-state payload,
+     * fired every setCheckpointInterval() simulated cycles.  Only
+     * observes — the simulation is bit-identical with or without it.
+     */
+    std::function<void(const std::string &payload, Cycle now)> onCheckpoint;
 };
 
 class SimEngine
@@ -88,6 +94,23 @@ class SimEngine
      */
     SimStats runApp(const AppSpec &spec, std::uint64_t salt = 0,
                     bool concurrent = false);
+
+    /**
+     * Snapshot period in simulated cycles; 0 (the default) disables
+     * checkpointing.  When set, every run invokes each observer's
+     * onCheckpoint with the serialized run state at that cadence.
+     */
+    void setCheckpointInterval(Cycle everyCycles);
+
+    /**
+     * Resume an interrupted runApp() from a checkpoint payload:
+     * synthesizes the same workload, restores the simulator, and
+     * finishes the run.  The payload's own `concurrent` flag governs
+     * the mode; final stats are identical to an uninterrupted run.
+     * Throws CacheError on any damaged or mismatched payload.
+     */
+    SimStats resumeApp(const AppSpec &spec, std::uint64_t salt,
+                       const std::string &payload);
 
   private:
     SimStats dispatch(const Application &app, bool concurrent);

@@ -128,6 +128,15 @@ TimeSeries::restoreSamples(std::vector<double> samples)
     curWindowStart_ = window_ * samples_.size();
 }
 
+void
+TimeSeries::restoreState(std::vector<double> samples,
+                         Cycle curWindowStart, double curSum)
+{
+    samples_ = std::move(samples);
+    curWindowStart_ = curWindowStart;
+    curSum_ = curSum;
+}
+
 double
 TimeSeries::average() const
 {

@@ -75,8 +75,22 @@ class TimeSeries
     /** Replace the sample vector (result-cache deserialization). */
     void restoreSamples(std::vector<double> samples);
 
+    /**
+     * Restore full mid-run sampler state (snapshot restore): the
+     * completed samples plus the partially accumulated trailing
+     * window, exactly as read back through curWindowStart()/curSum().
+     */
+    void restoreState(std::vector<double> samples, Cycle curWindowStart,
+                      double curSum);
+
     Cycle window() const { return window_; }
     const std::vector<double> &samples() const { return samples_; }
+
+    /** Start cycle of the partially filled window (checkpointing). */
+    Cycle curWindowStart() const { return curWindowStart_; }
+
+    /** Accumulated sum of the partially filled window. */
+    double curSum() const { return curSum_; }
 
     /** Average over all completed samples. */
     double average() const;

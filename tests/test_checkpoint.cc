@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Checkpoint/restore tests (ctest label `checkpoint`).
+ *
+ * Covers the snapshot wire record and its corruption handling, the
+ * SimEngine checkpoint observer, the save/resume determinism contract
+ * (a mid-run snapshot resumed on a fresh simulator must reproduce the
+ * golden fingerprint of an uninterrupted run, for every design point),
+ * the `run-job` cold-start fallback for every damage class (truncated
+ * frame, flipped checksum byte, bumped version, foreign job key,
+ * unusable payload), the injected-ENOSPC degrade paths for snapshot
+ * and journal writes, and the `version` / `checkpoint --verify` CLI
+ * surface.
+ *
+ * Like `isolation`, the subprocess tests drive the real CLI binary
+ * (SCSIM_CLI_PATH); the golden matrix reuses the engine goldens
+ * (SCSIM_ENGINE_GOLDENS).
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_inject.hh"
+#include "common/sim_error.hh"
+#include "runner/design.hh"
+#include "runner/job_key.hh"
+#include "runner/journal.hh"
+#include "runner/subprocess.hh"
+#include "runner/wire.hh"
+#include "sim/engine.hh"
+#include "stats/stats_io.hh"
+#include "workloads/microbench.hh"
+#include "workloads/suite.hh"
+
+namespace scsim {
+namespace {
+
+using runner::decodeJobResult;
+using runner::decodeSnapshot;
+using runner::JobResult;
+using runner::JobStatus;
+using runner::jobKey;
+using runner::JournalWriter;
+using runner::keyToHex;
+using runner::readJournal;
+using runner::runSubprocess;
+using runner::serializeJob;
+using runner::serializeSnapshot;
+using runner::SimJob;
+using runner::SubprocessResult;
+using runner::WireDecode;
+using sim::SimEngine;
+
+// ---- shared helpers (mirrors test_isolation / test_engine) ------------
+
+AppSpec
+tinyApp(const std::string &name, int blocks = 4)
+{
+    AppSpec app;
+    app.name = name;
+    app.suite = "test";
+    app.numBlocks = blocks;
+    app.warpsPerBlock = 4;
+    app.baseInsts = 60;
+    app.footprintMB = 1;
+    return app;
+}
+
+GpuConfig
+tinyCfg()
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    return cfg;
+}
+
+SimJob
+tinyJob(const std::string &tag = "ckpt")
+{
+    SimJob job;
+    job.tag = tag;
+    job.cfg = tinyCfg();
+    job.app = tinyApp(tag + "-app");
+    return job;
+}
+
+std::string
+freshDir(const std::string &leaf)
+{
+    std::string dir = testing::TempDir() + "scsim_ckpt_" + leaf;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spew(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+KernelDesc
+microWorkload(const std::string &name)
+{
+    if (name == "fma-unbalanced")
+        return makeFmaMicro(FmaLayout::Unbalanced, 512, 8);
+    if (name == "imbalance:4")
+        return makeImbalanceMicro(4.0, 256, 8);
+    if (name == "conflict:0")
+        return makeConflictMicro(0, 512, 4);
+    ADD_FAILURE() << "unknown micro workload " << name;
+    return {};
+}
+
+GpuConfig
+goldenBase()
+{
+    GpuConfig cfg = GpuConfig::volta();
+    cfg.numSms = 2;
+    return cfg;
+}
+
+/** design name -> workload name -> seed fingerprint (hex). */
+std::map<std::string, std::map<std::string, std::string>>
+loadGoldens()
+{
+    std::ifstream in(SCSIM_ENGINE_GOLDENS);
+    EXPECT_TRUE(in.good()) << "missing goldens: " SCSIM_ENGINE_GOLDENS;
+    std::map<std::string, std::map<std::string, std::string>> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string design, workload, hex;
+        std::getline(ls, design, '\t');
+        std::getline(ls, workload, '\t');
+        std::getline(ls, hex, '\t');
+        out[design][workload] = hex;
+    }
+    return out;
+}
+
+/** The Application wrapping SimEngine::run(KernelDesc) performs. */
+Application
+wrapKernel(const KernelDesc &kernel)
+{
+    Application app;
+    app.name = kernel.name;
+    app.kernels.push_back(kernel);
+    return app;
+}
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FaultInjector::instance().reset();
+        unsetenv("SCSIM_FAULT_CRASH");
+        unsetenv("SCSIM_FAULT_CRASH_ONCE");
+        unsetenv("SCSIM_FAULT_SNAPSHOT_WRITE");
+    }
+    void TearDown() override
+    {
+        FaultInjector::instance().reset();
+        unsetenv("SCSIM_FAULT_SNAPSHOT_WRITE");
+    }
+};
+
+// ---- snapshot wire record ---------------------------------------------
+
+TEST_F(CheckpointTest, SnapshotRecordRoundTrips)
+{
+    const std::string state = "run.concurrent b 0\nrun.now u 1234\n";
+    std::string frame = serializeSnapshot(0xdeadbeefcafe1234ull, state);
+
+    std::uint64_t key = 0;
+    std::string got;
+    EXPECT_EQ(decodeSnapshot(frame, key, got), WireDecode::Ok);
+    EXPECT_EQ(key, 0xdeadbeefcafe1234ull);
+    EXPECT_EQ(got, state);
+}
+
+TEST_F(CheckpointTest, TruncatedSnapshotFrameIsCorrupt)
+{
+    std::string frame = serializeSnapshot(7, "some state lines\n");
+    frame.resize(frame.size() - 5);
+
+    std::uint64_t key = 99;
+    std::string state = "untouched";
+    EXPECT_EQ(decodeSnapshot(frame, key, state), WireDecode::Corrupt);
+    EXPECT_EQ(key, 99u) << "outputs must be untouched on failure";
+    EXPECT_EQ(state, "untouched");
+}
+
+TEST_F(CheckpointTest, FlippedSnapshotByteIsCorrupt)
+{
+    std::string frame = serializeSnapshot(7, "some state lines\n");
+    frame[frame.size() - 3] ^= 0x01;  // inside the payload
+
+    std::uint64_t key = 0;
+    std::string state;
+    EXPECT_EQ(decodeSnapshot(frame, key, state), WireDecode::Corrupt);
+}
+
+TEST_F(CheckpointTest, BumpedSnapshotVersionIsVersionSkew)
+{
+    std::string frame = serializeSnapshot(7, "some state lines\n");
+    auto pos = frame.find(" v1 ");
+    ASSERT_NE(pos, std::string::npos);
+    frame.replace(pos, 4, " v2 ");
+
+    std::uint64_t key = 0;
+    std::string state;
+    EXPECT_EQ(decodeSnapshot(frame, key, state),
+              WireDecode::VersionSkew);
+    EXPECT_EQ(runner::kSnapshotVersion, 1u)
+        << "bump the hand-crafted v2 header above with the format";
+}
+
+// ---- SimEngine checkpoint observer ------------------------------------
+
+TEST_F(CheckpointTest, CheckpointObserverFiresAndDoesNotPerturbTheRun)
+{
+    // Reference: no checkpointing at all.
+    SimStats ref = SimEngine(goldenBase()).run(microWorkload("conflict:0"));
+
+    SimEngine engine(goldenBase());
+    std::vector<std::pair<std::string, Cycle>> snaps;
+    sim::EngineObserver obs;
+    obs.onCheckpoint = [&](const std::string &payload, Cycle now) {
+        snaps.emplace_back(payload, now);
+    };
+    engine.addObserver(std::move(obs));
+    engine.setCheckpointInterval(200);
+
+    SimStats s = engine.run(microWorkload("conflict:0"));
+    ASSERT_FALSE(snaps.empty()) << "no checkpoint fired";
+    EXPECT_EQ(sim::statsFingerprintHex(s), sim::statsFingerprintHex(ref))
+        << "observing checkpoints must be invisible to the simulation";
+    for (std::size_t i = 1; i < snaps.size(); ++i)
+        EXPECT_GT(snaps[i].second, snaps[i - 1].second);
+}
+
+TEST_F(CheckpointTest, ResumeRejectsDamagedPayload)
+{
+    SimEngine engine(goldenBase());
+    Application app = wrapKernel(microWorkload("conflict:0"));
+    EXPECT_THROW(engine.sim().resume(app, "not a state payload\n"),
+                 CacheError);
+}
+
+// ---- golden determinism matrix: snapshot + resume == uninterrupted ----
+
+TEST_F(CheckpointTest, ResumedRunMatchesGoldenFingerprintsEverywhere)
+{
+    auto goldens = loadGoldens();
+    const char *workloads[] = { "fma-unbalanced", "imbalance:4",
+                                "conflict:0" };
+    GpuConfig base = goldenBase();
+    for (runner::Design d : runner::allDesigns()) {
+        std::string name = runner::toString(d);
+        ASSERT_TRUE(goldens.count(name)) << "no goldens for " << name;
+        for (const char *w : workloads) {
+            KernelDesc kernel = microWorkload(w);
+
+            // Uninterrupted run, capturing every mid-run snapshot.
+            SimEngine full(runner::designConfig(base, name));
+            std::vector<std::string> snaps;
+            sim::EngineObserver obs;
+            obs.onCheckpoint = [&](const std::string &payload, Cycle) {
+                snaps.push_back(payload);
+            };
+            full.addObserver(std::move(obs));
+            full.setCheckpointInterval(200);
+            SimStats ref = full.run(kernel);
+            EXPECT_EQ(sim::statsFingerprintHex(ref), goldens[name][w])
+                << "design '" << name << "' workload '" << w
+                << "' diverged from seed behavior";
+            ASSERT_FALSE(snaps.empty())
+                << "design '" << name << "' workload '" << w
+                << "' finished before the first checkpoint";
+
+            // Resume a fresh simulator from a mid-run snapshot: the
+            // rest of the run must land on the same fingerprint.
+            SimEngine resumed(runner::designConfig(base, name));
+            SimStats got = resumed.sim().resume(
+                wrapKernel(kernel), snaps[snaps.size() / 2]);
+            EXPECT_EQ(sim::statsFingerprintHex(got), goldens[name][w])
+                << "design '" << name << "' workload '" << w
+                << "' resumed to a different result";
+        }
+    }
+}
+
+// ---- run-job cold-start fallback for every damage class ---------------
+
+/** Run @p job through `run-job` with checkpointing against @p dir. */
+SubprocessResult
+runJobCli(const SimJob &job, const std::string &dir)
+{
+    return runSubprocess({ SCSIM_CLI_PATH, "run-job",
+                           "--checkpoint-cycles", "200", "--state-dir",
+                           dir },
+                         serializeJob(job), 120.0);
+}
+
+/** In-process reference payload for @p job. */
+std::string
+referencePayload(const SimJob &job)
+{
+    SimEngine engine(job.cfg);
+    return serializeStatsPayload(
+        engine.runApp(job.app, job.salt, job.concurrent));
+}
+
+/** Assert the job succeeded and matched the in-process reference. */
+void
+expectCleanResult(const SubprocessResult &sub, const SimJob &job)
+{
+    ASSERT_TRUE(sub.exitedCleanly())
+        << "exit " << sub.exitCode << " signal " << sub.termSignal
+        << "\n" << sub.stderrTail;
+    JobResult r;
+    ASSERT_EQ(decodeJobResult(sub.stdoutText, r), WireDecode::Ok);
+    EXPECT_EQ(r.status, JobStatus::Ok) << r.error;
+    EXPECT_EQ(serializeStatsPayload(r.stats), referencePayload(job));
+}
+
+/** Seed a damaged snapshot, run the job, expect quarantine + success. */
+void
+expectColdStartRecovery(const std::string &leaf,
+                        const std::string &snapshotBytes)
+{
+    SimJob job = tinyJob();
+    std::string dir = freshDir(leaf);
+    std::string snap = dir + "/" + keyToHex(jobKey(job)) + ".snap";
+    spew(snap, snapshotBytes);
+
+    SubprocessResult sub = runJobCli(job, dir);
+    expectCleanResult(sub, job);
+    EXPECT_TRUE(std::filesystem::exists(snap + ".corrupt"))
+        << "damaged snapshot was not quarantined\n" << sub.stderrTail;
+    EXPECT_FALSE(std::filesystem::exists(snap))
+        << "snapshot must be unlinked once the job has a result";
+}
+
+TEST_F(CheckpointTest, RunJobStartsColdOnTruncatedSnapshot)
+{
+    std::string frame =
+        serializeSnapshot(jobKey(tinyJob()), "run.concurrent b 0\n");
+    frame.resize(frame.size() / 2);
+    expectColdStartRecovery("truncated", frame);
+}
+
+TEST_F(CheckpointTest, RunJobStartsColdOnFlippedChecksumByte)
+{
+    std::string frame =
+        serializeSnapshot(jobKey(tinyJob()), "run.concurrent b 0\n");
+    frame[frame.size() - 2] ^= 0x01;
+    expectColdStartRecovery("flipped", frame);
+}
+
+TEST_F(CheckpointTest, RunJobStartsColdOnVersionSkewedSnapshot)
+{
+    std::string frame =
+        serializeSnapshot(jobKey(tinyJob()), "run.concurrent b 0\n");
+    auto pos = frame.find(" v1 ");
+    ASSERT_NE(pos, std::string::npos);
+    frame.replace(pos, 4, " v9 ");
+    expectColdStartRecovery("skewed", frame);
+}
+
+TEST_F(CheckpointTest, RunJobStartsColdOnForeignJobSnapshot)
+{
+    expectColdStartRecovery(
+        "foreign",
+        serializeSnapshot(jobKey(tinyJob()) + 1, "run.concurrent b 0\n"));
+}
+
+TEST_F(CheckpointTest, RunJobStartsColdOnUnusableState)
+{
+    // Valid frame, right job — but a payload the simulator rejects.
+    expectColdStartRecovery(
+        "unusable",
+        serializeSnapshot(jobKey(tinyJob()), "not a state payload\n"));
+}
+
+TEST_F(CheckpointTest, RunJobSucceedsWithoutAnySnapshot)
+{
+    SimJob job = tinyJob();
+    std::string dir = freshDir("nosnap");
+    SubprocessResult sub = runJobCli(job, dir);
+    expectCleanResult(sub, job);
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/" + keyToHex(jobKey(job)) + ".snap"));
+}
+
+// ---- injected-ENOSPC degrade paths ------------------------------------
+
+TEST_F(CheckpointTest, SnapshotWriteFaultDegradesButJobSucceeds)
+{
+    // Workers inherit the environment: every snapshot write fails as
+    // if the disk were full.  The job must still finish correctly.
+    setenv("SCSIM_FAULT_SNAPSHOT_WRITE", "1:1000000", 1);
+    SimJob job = tinyJob();
+    std::string dir = freshDir("enospc");
+
+    SubprocessResult sub = runJobCli(job, dir);
+    expectCleanResult(sub, job);
+    EXPECT_NE(sub.stderrTail.find("continuing without checkpoints"),
+              std::string::npos)
+        << "expected exactly one degrade warning\n" << sub.stderrTail;
+}
+
+TEST_F(CheckpointTest, SnapshotFaultEnvParserRejectsGarbage)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    EXPECT_FALSE(fi.armSnapshotWriteFromEnv(nullptr));
+    EXPECT_FALSE(fi.armSnapshotWriteFromEnv(""));
+    EXPECT_FALSE(fi.armSnapshotWriteFromEnv("zero"));
+    EXPECT_FALSE(fi.armSnapshotWriteFromEnv("3:"));
+    EXPECT_TRUE(fi.armSnapshotWriteFromEnv("2"));
+    EXPECT_TRUE(fi.armSnapshotWriteFromEnv("2:5"));
+}
+
+TEST_F(CheckpointTest, JournalDegradesToNoOpOnDiskFull)
+{
+    std::string dir = freshDir("journal");
+    std::string path = dir + "/sweep.journal";
+    FaultInjector::instance().armJournalWriteFaults(1, 1u << 20);
+
+    JobResult r;
+    r.status = JobStatus::Ok;
+    JournalWriter w(path, 0x1234, 3, /*fresh=*/true);
+    EXPECT_FALSE(w.degraded());
+    EXPECT_NO_THROW(w.append(0, "a", r));  // fails -> warn + latch
+    EXPECT_TRUE(w.degraded());
+    EXPECT_NO_THROW(w.append(1, "b", r));  // silent no-op now
+
+    // Only the first append even reached the injector.
+    EXPECT_EQ(FaultInjector::instance().journalWriteAttempts(), 1u);
+
+    // On disk: the header survived, no records, still parsable.
+    auto contents = readJournal(path);
+    EXPECT_EQ(contents.specHash, 0x1234u);
+    EXPECT_TRUE(contents.records.empty());
+    EXPECT_EQ(contents.dropped, 0u);
+}
+
+TEST_F(CheckpointTest, JournalKeepsRecordsWrittenBeforeDiskFilled)
+{
+    std::string dir = freshDir("journal_tail");
+    std::string path = dir + "/sweep.journal";
+    FaultInjector::instance().armJournalWriteFaults(2, 1);
+
+    JobResult r;
+    r.status = JobStatus::Ok;
+    JournalWriter w(path, 0x5678, 3, /*fresh=*/true);
+    w.append(0, "a", r);   // durable
+    w.append(1, "b", r);   // ENOSPC -> degrade
+    w.append(2, "c", r);   // no-op
+    EXPECT_TRUE(w.degraded());
+
+    auto contents = readJournal(path);
+    ASSERT_EQ(contents.records.size(), 1u);
+    EXPECT_EQ(contents.records[0].tag, "a");
+}
+
+// ---- CLI surface -------------------------------------------------------
+
+TEST_F(CheckpointTest, VersionPrintsSnapshotFormat)
+{
+    SubprocessResult sub =
+        runSubprocess({ SCSIM_CLI_PATH, "version" }, "", 30.0);
+    ASSERT_TRUE(sub.exitedCleanly());
+    EXPECT_NE(sub.stdoutText.find("snapshot format: v1"),
+              std::string::npos)
+        << sub.stdoutText;
+}
+
+TEST_F(CheckpointTest, CheckpointVerifyAcceptsGoodRejectsBad)
+{
+    std::string dir = freshDir("verify");
+    std::string good = dir + "/good.snap";
+    std::string bad = dir + "/bad.snap";
+    std::string frame = serializeSnapshot(42, "run.concurrent b 0\n");
+    spew(good, frame);
+    frame[frame.size() - 2] ^= 0x01;
+    spew(bad, frame);
+
+    SubprocessResult ok = runSubprocess(
+        { SCSIM_CLI_PATH, "checkpoint", "--file", good, "--verify" },
+        "", 30.0);
+    EXPECT_TRUE(ok.exitedCleanly()) << ok.stderrTail;
+
+    SubprocessResult rej = runSubprocess(
+        { SCSIM_CLI_PATH, "checkpoint", "--file", bad, "--verify" },
+        "", 30.0);
+    EXPECT_EQ(rej.termSignal, 0);
+    EXPECT_NE(rej.exitCode, 0)
+        << "corrupt snapshot must fail verification";
+}
+
+} // namespace
+} // namespace scsim

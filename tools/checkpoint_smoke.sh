@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Checkpoint/restore smoke test: real SIGKILLs against real snapshots.
+#
+# Proves the in-simulation checkpoint contract end to end:
+#
+#   1. an isolated sweep whose run-job worker is SIGKILLed mid-run
+#      *twice*, each time after a snapshot exists on disk — every
+#      respawn resumes from the snapshot, and the final manifests are
+#      byte-identical (`cmp`) to an uninterrupted run's;
+#   2. the same through the farm: a daemon with checkpointing enabled
+#      is SIGKILLed mid-sweep, restarted on the same state directory,
+#      and `submit --resume` finishes the sweep — journaled jobs are
+#      adopted, in-flight ones resume from their snapshots, and the
+#      manifest still `cmp`s clean.
+#
+# Usage: tools/checkpoint_smoke.sh [path-to-scsim_cli]   (default:
+#        build/tools/scsim_cli)
+
+set -euo pipefail
+
+CLI=${1:-build/tools/scsim_cli}
+if [ ! -x "$CLI" ]; then
+    echo "error: $CLI not found — build the default preset first" >&2
+    exit 2
+fi
+CLI=$(readlink -f "$CLI")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/scsim_ckpt_smoke.XXXXXX")
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SWEEP=(--apps tpcU-q1,pb-sgemm --designs RBA --scale 0.2)
+
+echo "== 1. clean isolated run (reference manifests)"
+"$CLI" sweep "${SWEEP[@]}" --isolate --jobs 1 --quiet \
+    --out "$WORK/ref.json" --csv "$WORK/ref.csv"
+
+echo "== 2. SIGKILL the worker twice mid-run, resume from snapshots"
+SNAPDIR=$WORK/snap
+"$CLI" sweep "${SWEEP[@]}" --isolate --jobs 1 --retries 5 --quiet \
+    --checkpoint-cycles 1000 --state-dir "$SNAPDIR" \
+    --out "$WORK/killed.json" --csv "$WORK/killed.csv" \
+    2>"$WORK/killed.log" &
+spid=$!
+
+# Each round: wait until a snapshot file exists (so the kill lands
+# after recoverable state is on disk), then SIGKILL the run-job
+# worker.  The pattern pins the kill to *our* state dir.
+kills=0
+for round in 1 2; do
+    landed=0
+    for _ in $(seq 1 400); do
+        kill -0 "$spid" 2>/dev/null || break 2
+        if ls "$SNAPDIR"/*.snap >/dev/null 2>&1; then
+            if pkill -9 -f "run-job .*--state-dir $SNAPDIR" \
+                   2>/dev/null; then
+                landed=1
+                kills=$((kills + 1))
+                break
+            fi
+        fi
+        sleep 0.05
+    done
+    [ "$landed" -eq 1 ] || break
+    sleep 0.3   # let the respawn get going before the next round
+done
+if [ "$kills" -gt 0 ]; then
+    echo "   SIGKILLed the worker $kills time(s) with snapshots on disk"
+else
+    echo "   note: sweep finished before a kill could land"
+fi
+
+wait "$spid" || {
+    echo "FAIL: killed+resumed sweep exited nonzero" >&2
+    cat "$WORK/killed.log" >&2
+    exit 1
+}
+cmp "$WORK/ref.json" "$WORK/killed.json" || {
+    echo "FAIL: resumed JSON manifest differs from the clean run" >&2
+    exit 1
+}
+cmp "$WORK/ref.csv" "$WORK/killed.csv" || {
+    echo "FAIL: resumed CSV manifest differs from the clean run" >&2
+    exit 1
+}
+ls "$SNAPDIR"/*.snap >/dev/null 2>&1 && {
+    echo "FAIL: snapshots left behind after the sweep finished" >&2
+    exit 1
+}
+
+echo "== 3. farm daemon SIGKILLed mid-sweep, restarted, resumed"
+SOCK=$WORK/farm.sock
+start_daemon() {
+    "$CLI" serve --socket "$SOCK" --workers 1 \
+        --cache-dir "$WORK/cache" --state-dir "$WORK/state" \
+        --checkpoint-cycles 1000 --quiet >>"$WORK/serve.log" 2>&1 &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -S "$SOCK" ] && return 0
+        kill -0 "$DPID" 2>/dev/null || {
+            echo "FAIL: daemon died on startup:" >&2
+            cat "$WORK/serve.log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    echo "FAIL: socket never appeared" >&2
+    exit 1
+}
+start_daemon
+
+"$CLI" submit "${SWEEP[@]}" --socket "$SOCK" --name ckpt-smoke --quiet \
+    --out "$WORK/farm.json" --csv "$WORK/farm.csv" \
+    2>"$WORK/submit1.log" &
+cpid=$!
+
+# Kill the daemon once a worker snapshot proves a job is mid-run.
+killed=0
+for _ in $(seq 1 400); do
+    if ls "$WORK/state/snapshots"/*.snap >/dev/null 2>&1; then
+        kill -9 "$DPID" 2>/dev/null && killed=1
+        break
+    fi
+    kill -0 "$cpid" 2>/dev/null || break
+    sleep 0.05
+done
+wait "$cpid" 2>/dev/null && clientrc=0 || clientrc=$?
+if [ "$killed" -eq 1 ]; then
+    echo "   SIGKILLed the daemon with a worker snapshot on disk"
+    [ "$clientrc" -ne 0 ] || {
+        echo "FAIL: client exited 0 though its daemon was killed" >&2
+        exit 1
+    }
+else
+    echo "   note: sweep finished before the daemon could be killed"
+fi
+pkill -9 -f "run-job .*--state-dir $WORK/state" 2>/dev/null || true
+DPID=
+
+start_daemon
+"$CLI" submit "${SWEEP[@]}" --socket "$SOCK" --name ckpt-smoke --quiet \
+    --resume --out "$WORK/farm.json" --csv "$WORK/farm.csv" || {
+    echo "FAIL: resumed submit exited nonzero" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+}
+cmp "$WORK/ref.json" "$WORK/farm.json" || {
+    echo "FAIL: farm resumed JSON manifest differs" >&2
+    exit 1
+}
+cmp "$WORK/ref.csv" "$WORK/farm.csv" || {
+    echo "FAIL: farm resumed CSV manifest differs" >&2
+    exit 1
+}
+
+kill -TERM "$DPID" 2>/dev/null || true
+for _ in $(seq 1 100); do
+    kill -0 "$DPID" 2>/dev/null || break
+    sleep 0.1
+done
+DPID=
+
+echo "PASS: checkpoint smoke (worker killed twice + daemon restart," \
+     "manifests byte-identical)"

@@ -16,13 +16,18 @@
  *                  [--fail-fast] [--max-failures N]
  *                  [--isolate] [--timeout SECONDS] [--retries N]
  *                  [--journal FILE] [--resume FILE]
- *   scsim_cli run-job            (internal: one isolated sweep job;
- *                  reads an scsim-job record on stdin, writes an
- *                  scsim-jobres record on stdout)
+ *                  [--checkpoint-cycles N --state-dir DIR]
+ *   scsim_cli run-job [--checkpoint-cycles N --state-dir DIR]
+ *                  (internal: one isolated sweep job; reads an
+ *                  scsim-job record on stdin, writes an scsim-jobres
+ *                  record on stdout; resumes from DIR/<key>.snap)
  *   scsim_cli serve [--socket /path.sock] [--port N|0] [--workers N]
  *                  [--cache-dir DIR] [--cache-max-bytes N]
  *                  [--state-dir DIR] [--timeout SECONDS] [--retries N]
+ *                  [--checkpoint-cycles N]
  *                  [--quiet]    (sweep farm daemon; 0 = ephemeral port)
+ *   scsim_cli checkpoint --file SNAP [--verify | --restore]
+ *                  (offline snapshot inspection / manual resume)
  *   scsim_cli submit [--socket /path.sock | --port N] [--name LABEL]
  *                  [--detach] [--resume] [sweep selection options]
  *                  [--out results.json] [--csv results.csv] [--quiet]
@@ -48,6 +53,7 @@
  * machinery for the containment path.
  */
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +62,7 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,6 +70,7 @@
 #include <unistd.h>
 
 #include "common/fault_inject.hh"
+#include "common/io_util.hh"
 #include "common/logging.hh"
 #include "farm/farm_client.hh"
 #include "farm/farm_server.hh"
@@ -106,6 +114,9 @@ isBooleanFlag(const std::string &command, const std::string &flag)
         return true;
     if (command == "status" && flag == "json")
         return true;
+    if (command == "checkpoint"
+        && (flag == "verify" || flag == "restore"))
+        return true;
     return false;
 }
 
@@ -116,8 +127,8 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         scsim_fatal(
             "usage: scsim_cli <run|sweep|run-job|serve|submit|status|"
-            "version|list|list-designs|list-policies|dump|info> "
-            "[options]");
+            "checkpoint|version|list|list-designs|list-policies|dump|"
+            "info> [options]");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string flag = argv[i];
@@ -466,6 +477,18 @@ cmdSweep(const Args &args)
         if (opts.journalPath.empty())
             opts.journalPath = it->second;  // rewritten complete
     }
+    if (auto it = args.options.find("checkpoint-cycles");
+        it != args.options.end())
+        opts.checkpointCycles = std::stoull(it->second);
+    if (auto it = args.options.find("state-dir");
+        it != args.options.end())
+        opts.snapshotDir = it->second;
+    if (opts.checkpointCycles && opts.snapshotDir.empty())
+        scsim_fatal("--checkpoint-cycles needs --state-dir DIR for "
+                    "the snapshot files");
+    if (opts.checkpointCycles && !opts.isolate)
+        scsim_fatal("--checkpoint-cycles only applies to isolated "
+                    "sweeps (add --isolate)");
 
     SweepEngine engine(opts);
     SweepResult res = engine.run(spec);
@@ -486,11 +509,22 @@ cmdSweep(const Args &args)
  * failures (including hangs) are *results*, not process errors —
  * they come back inside the record; a nonzero exit means the
  * protocol itself broke (or the process died, which is the point).
+ *
+ * With `--checkpoint-cycles N --state-dir DIR` the worker writes a
+ * snapshot of the running simulation every N cycles (atomic rename
+ * into `DIR/<job-key>.snap`) and, on startup, resumes from any valid
+ * snapshot a killed previous attempt left behind.  Damaged or
+ * version-skewed snapshots are quarantined as `.corrupt` and the run
+ * starts cold — recovery data can never fail the job.  ENOSPC/EDQUOT
+ * on a snapshot write degrades to running without checkpoints after
+ * one warning.
  */
 int
-cmdRunJob()
+cmdRunJob(const Args &args)
 {
     using namespace scsim::runner;
+
+    ignoreSigpipe();
 
     if (const char *crash = std::getenv("SCSIM_FAULT_CRASH"))
         if (!FaultInjector::instance().armCrashFromEnv(crash))
@@ -524,6 +558,20 @@ cmdRunJob()
         }
     }
 
+    if (const char *snap = std::getenv("SCSIM_FAULT_SNAPSHOT_WRITE"))
+        if (!FaultInjector::instance().armSnapshotWriteFromEnv(snap))
+            scsim_warn("ignoring unparsable SCSIM_FAULT_SNAPSHOT_WRITE"
+                       "='%s'", snap);
+
+    std::uint64_t ckptCycles = 0;
+    std::string stateDir;
+    if (auto it = args.options.find("checkpoint-cycles");
+        it != args.options.end())
+        ckptCycles = std::stoull(it->second);
+    if (auto it = args.options.find("state-dir");
+        it != args.options.end())
+        stateDir = it->second;
+
     std::string input(std::istreambuf_iterator<char>(std::cin), {});
     SimJob job;
     switch (parseJob(input, job)) {
@@ -537,10 +585,99 @@ cmdRunJob()
 
     JobResult r;
     r.key = jobKey(job);
+
+    bool checkpointing = ckptCycles > 0 && !stateDir.empty();
+    if (checkpointing && !makeDirs(stateDir)) {
+        scsim_warn("run-job: cannot create state dir '%s' (%s); "
+                   "running without checkpoints", stateDir.c_str(),
+                   std::strerror(errno));
+        checkpointing = false;
+    }
+    const std::string snapPath =
+        stateDir + "/" + keyToHex(r.key) + ".snap";
+
+    auto quarantine = [&](const char *why) {
+        std::string bad = snapPath + ".corrupt";
+        if (std::rename(snapPath.c_str(), bad.c_str()) == 0)
+            scsim_warn("run-job: %s snapshot quarantined as '%s'; "
+                       "starting cold", why, bad.c_str());
+        else
+            scsim_warn("run-job: %s snapshot '%s' could not be "
+                       "quarantined; starting cold", why,
+                       snapPath.c_str());
+    };
+
+    // A previous (killed) attempt's snapshot resumes this one.  Any
+    // damage — bad checksum, another format version, or a payload the
+    // simulator rejects below — is a cold start, never a job failure.
+    std::string resumeState;
+    if (checkpointing) {
+        std::string text;
+        if (readFileAll(snapPath, text)) {
+            std::uint64_t snapKey = 0;
+            switch (decodeSnapshot(text, snapKey, resumeState)) {
+              case WireDecode::Ok:
+                if (snapKey != r.key) {
+                    resumeState.clear();
+                    quarantine("foreign-job");
+                }
+                break;
+              case WireDecode::VersionSkew:
+                quarantine("version-skewed");
+                break;
+              case WireDecode::Corrupt:
+                quarantine("corrupt");
+                break;
+            }
+        }
+    }
+
     auto start = std::chrono::steady_clock::now();
     try {
         sim::SimEngine engine(job.cfg);
-        r.stats = engine.runApp(job.app, job.salt, job.concurrent);
+        bool snapshotsDead = false;  // disk trouble: degrade, once
+        if (checkpointing) {
+            sim::EngineObserver obs;
+            obs.onCheckpoint = [&](const std::string &payload, Cycle) {
+                if (snapshotsDead)
+                    return;
+                int err = 0;
+                bool failed =
+                    FaultInjector::instance().shouldFailSnapshotWrite();
+                if (failed)
+                    err = ENOSPC;
+                else if (!writeFileAtomic(
+                             snapPath, serializeSnapshot(r.key, payload),
+                             "." + std::to_string(::getpid()), &err))
+                    failed = true;
+                if (failed) {
+                    // One warning, then run on without persistence —
+                    // a full disk must cost the checkpoints, not the
+                    // job.
+                    snapshotsDead = true;
+                    scsim_warn("run-job: snapshot write to '%s' failed "
+                               "(%s); continuing without checkpoints",
+                               snapPath.c_str(),
+                               isDiskFull(err) ? "disk full"
+                                               : std::strerror(err));
+                }
+            };
+            engine.addObserver(std::move(obs));
+            engine.setCheckpointInterval(ckptCycles);
+        }
+        if (!resumeState.empty()) {
+            try {
+                r.stats = engine.resumeApp(job.app, job.salt,
+                                           resumeState);
+            } catch (const CacheError &e) {
+                scsim_warn("run-job: snapshot rejected (%s)", e.what());
+                quarantine("unusable");
+                r.stats = engine.runApp(job.app, job.salt,
+                                        job.concurrent);
+            }
+        } else {
+            r.stats = engine.runApp(job.app, job.salt, job.concurrent);
+        }
         r.status = JobStatus::Ok;
     } catch (const HangError &e) {
         r.stats = SimStats{};
@@ -555,6 +692,11 @@ cmdRunJob()
     r.wallMs = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - start)
                    .count();
+
+    // The job has a definitive result (ok, hang, or failed): its
+    // snapshot has served its purpose.
+    if (checkpointing)
+        ::unlink(snapPath.c_str());
 
     std::string record = serializeJobResult(r);
     if (std::fwrite(record.data(), 1, record.size(), stdout)
@@ -581,6 +723,8 @@ serveSignalHandler(int)
 int
 cmdServe(const Args &args)
 {
+    ignoreSigpipe();
+
     farm::FarmServerOptions opts;
     if (auto it = args.options.find("socket"); it != args.options.end())
         opts.socketPath = it->second;
@@ -604,6 +748,9 @@ cmdServe(const Args &args)
         opts.jobTimeoutSec = std::stod(it->second);
     if (auto it = args.options.find("retries"); it != args.options.end())
         opts.crashAttempts = std::stoi(it->second);
+    if (auto it = args.options.find("checkpoint-cycles");
+        it != args.options.end())
+        opts.checkpointCycles = std::stoull(it->second);
     opts.quiet = args.options.count("quiet") > 0;
 
     std::string socketPath = opts.socketPath;
@@ -762,6 +909,99 @@ cmdVersion()
     std::printf("job wire       : v%u\n", runner::kJobWireVersion);
     std::printf("result format  : v%u\n", runner::kResultFormatVersion);
     std::printf("manifest       : v%d\n", runner::kManifestVersion);
+    std::printf("snapshot format: v%u\n", runner::kSnapshotVersion);
+    return 0;
+}
+
+/**
+ * `checkpoint`: offline snapshot inspection.
+ *
+ *   checkpoint --file SNAP            show header + run cursor
+ *   checkpoint --file SNAP --verify   exit 0 iff the frame decodes
+ *   checkpoint --file SNAP --restore  read an scsim-job record on
+ *                                     stdin, finish the interrupted
+ *                                     run, print the final stats
+ *
+ * `--restore` is the manual form of what a `run-job` worker does on
+ * startup — useful for post-mortems on a quarantined `.corrupt` file
+ * (after renaming it back) or for finishing a one-off run by hand.
+ */
+int
+cmdCheckpoint(const Args &args)
+{
+    using namespace scsim::runner;
+
+    auto it = args.options.find("file");
+    if (it == args.options.end())
+        scsim_fatal("checkpoint needs --file SNAPSHOT");
+    const std::string &path = it->second;
+
+    std::string text;
+    if (!readFileAll(path, text))
+        scsim_fatal("cannot read '%s': %s", path.c_str(),
+                    std::strerror(errno));
+
+    std::uint64_t snapKey = 0;
+    std::string simState;
+    WireDecode d = decodeSnapshot(text, snapKey, simState);
+
+    if (args.options.count("verify")) {
+        switch (d) {
+          case WireDecode::Ok:
+            std::printf("ok: job %s, %zu state bytes\n",
+                        keyToHex(snapKey).c_str(), simState.size());
+            return 0;
+          case WireDecode::VersionSkew: {
+            FrameHeader h;
+            if (peekFrameHeader(text, h))
+                std::printf("version skew: %s v%u (this build speaks "
+                            "v%u)\n", h.magic.c_str(), h.version,
+                            kSnapshotVersion);
+            else
+                std::printf("version skew\n");
+            return 1;
+          }
+          case WireDecode::Corrupt:
+            std::printf("corrupt\n");
+            return 1;
+        }
+    }
+
+    if (d != WireDecode::Ok)
+        scsim_fatal("'%s' is not a valid v%u snapshot (%s)",
+                    path.c_str(), kSnapshotVersion,
+                    d == WireDecode::VersionSkew ? "version skew"
+                                                 : "corrupt");
+
+    if (args.options.count("restore")) {
+        std::string input(std::istreambuf_iterator<char>(std::cin), {});
+        SimJob job;
+        if (parseJob(input, job) != WireDecode::Ok)
+            scsim_fatal("checkpoint --restore: need a valid scsim-job "
+                        "record on stdin");
+        if (jobKey(job) != snapKey)
+            scsim_fatal("snapshot is for job %s, stdin describes job "
+                        "%s", keyToHex(snapKey).c_str(),
+                        keyToHex(jobKey(job)).c_str());
+        sim::SimEngine engine(job.cfg);
+        SimStats s = engine.resumeApp(job.app, job.salt, simState);
+        std::printf("resumed job %s to completion: %llu cycles, "
+                    "fingerprint %s\n", keyToHex(snapKey).c_str(),
+                    static_cast<unsigned long long>(s.cycles),
+                    sim::statsFingerprintHex(s).c_str());
+        return 0;
+    }
+
+    // Default: show.  The run cursor is the first few state fields;
+    // print them without deserializing the whole machine.
+    std::printf("file           : %s\n", path.c_str());
+    std::printf("job key        : %s\n", keyToHex(snapKey).c_str());
+    std::printf("snapshot format: v%u\n", kSnapshotVersion);
+    std::printf("state bytes    : %zu\n", simState.size());
+    std::istringstream in(simState);
+    std::string line;
+    for (int i = 0; i < 5 && std::getline(in, line); ++i)
+        std::printf("  %s\n", line.c_str());
     return 0;
 }
 
@@ -878,7 +1118,9 @@ main(int argc, char **argv)
         if (args.command == "sweep")
             return cmdSweep(args);
         if (args.command == "run-job")
-            return cmdRunJob();
+            return cmdRunJob(args);
+        if (args.command == "checkpoint")
+            return cmdCheckpoint(args);
         if (args.command == "serve")
             return cmdServe(args);
         if (args.command == "submit")
@@ -898,8 +1140,8 @@ main(int argc, char **argv)
         if (args.command == "info")
             return cmdInfo(args);
         scsim_fatal("unknown command '%s' (try run/sweep/run-job/"
-                    "serve/submit/status/version/list/list-designs/"
-                    "list-policies/dump/info)",
+                    "serve/submit/status/checkpoint/version/list/"
+                    "list-designs/list-policies/dump/info)",
                     args.command.c_str());
     } catch (const HangError &e) {
         std::fprintf(stderr, "fatal: %s\n%s", e.what(),
