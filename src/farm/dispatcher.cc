@@ -28,15 +28,22 @@ Dispatcher::~Dispatcher()
 }
 
 void
-Dispatcher::stop()
+Dispatcher::beginDrain()
 {
     {
         std::lock_guard lock(mutex_);
-        if (stopping_)
-            return;
         stopping_ = true;
     }
     cv_.notify_all();
+}
+
+void
+Dispatcher::stop()
+{
+    beginDrain();
+    // Idempotent: join() is guarded, so a second stop() (or stop()
+    // after beginDrain()) still waits for the workers instead of
+    // returning while jobs are in flight.
     for (std::thread &t : threads_)
         if (t.joinable())
             t.join();

@@ -82,6 +82,14 @@ class Dispatcher
     void enqueue(std::uint64_t sweepId, std::size_t index,
                  const runner::SimJob &job);
 
+    /**
+     * Stop claiming without waiting: wakes every worker so each
+     * finishes its in-flight job and exits.  Completions still fire.
+     * A later stop() joins the threads; until then queueDepth() shows
+     * the abandoned jobs (--resume picks them up after restart).
+     */
+    void beginDrain();
+
     /** Stop claiming; finish in-flight jobs; join the workers. */
     void stop();
 

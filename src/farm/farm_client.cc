@@ -1,6 +1,9 @@
 #include "farm/farm_client.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
+#include <thread>
 
 #include "common/logging.hh"
 #include "runner/job_key.hh"
@@ -82,17 +85,58 @@ FarmClient::sendSubmit(const SweepSpec &spec, const std::string &name,
     msg.detach = detach;
     msg.resume = resume;
     msg.spec = spec;
-    sendFrame(serializeSubmit(msg));
+    const std::string wire = serializeSubmit(msg);
 
-    std::string frame = readFrame();
-    AcceptMsg accept;
-    requireRecord(parseAccept(frame, accept), frame, "accept");
-    if (accept.jobCount != spec.jobs.size())
-        scsim_throw(ConfigError,
-                    "daemon accepted %llu jobs for a %zu-job spec",
-                    static_cast<unsigned long long>(accept.jobCount),
-                    spec.jobs.size());
-    return accept;
+    // Deterministic jitter: the same client (same seed) backs off on
+    // the same schedule every run, so a flaky-looking retry path is
+    // reproducible in a test or a bug report.
+    std::minstd_rand rng(
+        static_cast<std::uint32_t>(retry_.seed ^ (retry_.seed >> 32)));
+    int attempts = retry_.maxAttempts > 0 ? retry_.maxAttempts : 1;
+
+    for (int attempt = 1;; ++attempt) {
+        sendFrame(wire);
+        std::string frame = readFrame();
+
+        runner::FrameHeader hdr;
+        if (runner::peekFrameHeader(frame, hdr)
+            && hdr.magic == kBusyMagic) {
+            BusyMsg busy;
+            requireRecord(parseBusy(frame, busy), frame, "busy");
+            if (attempt >= attempts)
+                scsim_throw(SimError,
+                            "daemon busy (%s, %llu jobs queued) after "
+                            "%d attempt(s); try again later or raise "
+                            "--busy-retries",
+                            busy.reason.c_str(),
+                            static_cast<unsigned long long>(
+                                busy.queueDepth),
+                            attempt);
+            double delay = retry_.baseDelayMs
+                * static_cast<double>(1u << std::min(attempt - 1, 20));
+            std::uniform_real_distribution<double> jitter(0.5, 1.0);
+            delay *= jitter(rng);
+            delay = std::max(delay,
+                             static_cast<double>(busy.retryAfterMs));
+            delay = std::min(delay, retry_.maxDelayMs);
+            scsim_warn("daemon busy (%s); retrying submission in "
+                       "%.0f ms (attempt %d of %d)",
+                       busy.reason.c_str(), delay, attempt, attempts);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay));
+            continue;
+        }
+
+        AcceptMsg accept;
+        requireRecord(parseAccept(frame, accept), frame, "accept");
+        if (accept.jobCount != spec.jobs.size())
+            scsim_throw(ConfigError,
+                        "daemon accepted %llu jobs for a %zu-job spec",
+                        static_cast<unsigned long long>(
+                            accept.jobCount),
+                        spec.jobs.size());
+        return accept;
+    }
 }
 
 SweepResult
@@ -179,6 +223,16 @@ FarmClient::status()
     FarmStatus st;
     requireRecord(parseStatus(frame, st), frame, "status");
     return st;
+}
+
+DrainAckMsg
+FarmClient::drain()
+{
+    sendFrame(serializeDrainReq());
+    std::string frame = readFrame();
+    DrainAckMsg ack;
+    requireRecord(parseDrainAck(frame, ack), frame, "drain ack");
+    return ack;
 }
 
 } // namespace scsim::farm

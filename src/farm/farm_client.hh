@@ -34,6 +34,25 @@ class FarmClient
     static FarmClient connectUnixSocket(const std::string &path);
     static FarmClient connectTcpPort(int port);
 
+    /**
+     * How to behave when the daemon answers a submission with
+     * scsim-busy (queue full, per-client cap, draining): retry with
+     * jittered exponential backoff, honouring the daemon's
+     * retry-after hint as a floor.  The jitter stream is seeded, so a
+     * given client's backoff schedule is reproducible.  maxAttempts
+     * counts submissions, so 1 means "no retries".
+     */
+    struct RetryPolicy
+    {
+        int maxAttempts = 8;
+        double baseDelayMs = 250.0;
+        double maxDelayMs = 10000.0;
+        std::uint64_t seed = 0x5eed;
+    };
+
+    void setRetryPolicy(RetryPolicy p) { retry_ = p; }
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
     /** Per-job progress: fired for every streamed jobdone, in
      *  completion order, before it is folded into the SweepResult. */
     using ProgressFn = std::function<void(const JobDoneMsg &)>;
@@ -54,6 +73,10 @@ class FarmClient
     /** One health snapshot from the daemon. */
     FarmStatus status();
 
+    /** Ask the daemon to drain (finish in-flight work, then exit);
+     *  returns its ack describing what is left to do. */
+    DrainAckMsg drain();
+
     /** The server's hello (build/version info), for display. */
     const HelloMsg &serverHello() const { return server_; }
 
@@ -71,6 +94,7 @@ class FarmClient
     Fd fd_;
     runner::FrameAssembler in_;
     HelloMsg server_;
+    RetryPolicy retry_;
 };
 
 } // namespace scsim::farm

@@ -30,11 +30,13 @@ FarmServer::FarmServer(FarmServerOptions opts) : opts_(std::move(opts))
     // connection after a POLLIN and must get EAGAIN, not block, when
     // the backlog is empty.
     if (!opts_.socketPath.empty()) {
-        unixListener_ = listenUnix(opts_.socketPath);
+        unixListener_ = listenUnix(opts_.socketPath,
+                                   opts_.listenBacklog);
         setNonblocking(unixListener_.get());
     }
     if (opts_.tcpPort >= 0) {
-        tcpListener_ = listenTcp(opts_.tcpPort, tcpPort_);
+        tcpListener_ = listenTcp(opts_.tcpPort, tcpPort_,
+                                 opts_.listenBacklog);
         setNonblocking(tcpListener_.get());
     }
 
@@ -98,6 +100,20 @@ FarmServer::stop()
 }
 
 void
+FarmServer::drain()
+{
+    // Same async-signal-safety contract as stop(): one atomic, one
+    // pipe byte.  A repeat request means the operator is impatient —
+    // escalate to the hard stop.
+    if (drainRequested_.exchange(true, std::memory_order_relaxed)) {
+        stop();
+        return;
+    }
+    char c = 'd';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &c, 1);
+}
+
+void
 FarmServer::onCompletion(std::uint64_t sweepId, std::size_t index,
                          JobResult r)
 {
@@ -126,6 +142,22 @@ FarmServer::sendFrame(Session &s, const std::string &frame)
         return;
     s.out += runner::envelopeFrame(frame);
     flushOut(s);
+    if (opts_.maxWriteBufferBytes && !s.closing
+        && s.out.size() > opts_.maxWriteBufferBytes) {
+        // The peer stopped reading while we stream to it.  Dropping
+        // the session detaches its sweeps — the jobs keep running and
+        // journaling, so `submit --resume` recovers every result.
+        scsim_warn("farm: session %llu buffered %zu bytes (cap %llu); "
+                   "disconnecting slow reader — its sweeps continue "
+                   "detached",
+                   static_cast<unsigned long long>(s.id),
+                   s.out.size(),
+                   static_cast<unsigned long long>(
+                       opts_.maxWriteBufferBytes));
+        s.out.clear();
+        s.closing = true;
+        ++slowReaderDisconnects_;
+    }
 }
 
 void
@@ -136,6 +168,7 @@ FarmServer::flushOut(Session &s)
                            MSG_NOSIGNAL);
         if (n > 0) {
             s.out.erase(0, static_cast<std::size_t>(n));
+            s.lastActivity = std::chrono::steady_clock::now();
             continue;
         }
         if (n < 0 && errno == EINTR)
@@ -164,20 +197,83 @@ FarmServer::closeSession(std::uint64_t id)
                     sessions_.end());
 }
 
+bool
+FarmServer::ownsSweep(std::uint64_t sessionId) const
+{
+    for (const auto &[id, sw] : sweeps_)
+        if (sw.owner == sessionId)
+            return true;
+    return false;
+}
+
+std::uint64_t
+FarmServer::oldestIdleSession() const
+{
+    // "Idle" = owns no active sweep: not waiting for results, just
+    // holding an fd.  Oldest activity first — the likeliest corpse.
+    std::uint64_t victim = 0;
+    std::chrono::steady_clock::time_point oldest;
+    for (const auto &s : sessions_) {
+        if (ownsSweep(s->id))
+            continue;
+        if (!victim || s->lastActivity < oldest) {
+            victim = s->id;
+            oldest = s->lastActivity;
+        }
+    }
+    return victim;
+}
+
 void
 FarmServer::acceptOn(Fd &listener)
 {
     for (;;) {
         int fd = ::accept(listener.get(), nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR)
+            int err = errno;
+            if (err == EINTR)
                 continue;
-            return;  // EAGAIN or transient accept failure
+            if (err == EAGAIN || err == EWOULDBLOCK)
+                return;
+            ++acceptFailures_;
+            if (err == EMFILE || err == ENFILE || err == ENOBUFS
+                || err == ENOMEM) {
+                // Out of fds (or kernel memory).  Never die: shed the
+                // oldest idle connection and retry; with nothing to
+                // shed, pause accepting so the loop doesn't spin on a
+                // hot listener we cannot service.
+                if (std::uint64_t victim = oldestIdleSession()) {
+                    ++connectionsShed_;
+                    scsim_warn("farm: accept failed (%s); shedding "
+                               "idle session %llu to free a "
+                               "descriptor",
+                               std::strerror(err),
+                               static_cast<unsigned long long>(victim));
+                    closeSession(victim);
+                    continue;
+                }
+                acceptPausedUntil_ = std::chrono::steady_clock::now()
+                    + std::chrono::seconds(1);
+                if (warnedAcceptErrnos_.insert(err).second)
+                    scsim_warn("farm: accept failed (%s) with no "
+                               "sheddable session; pausing accepts "
+                               "(counted in status as "
+                               "acceptFailures)", std::strerror(err));
+                return;
+            }
+            if (warnedAcceptErrnos_.insert(err).second)
+                scsim_warn("farm: accept failed: %s (counted in "
+                           "status as acceptFailures; warned once per "
+                           "errno)", std::strerror(err));
+            return;
         }
         setNonblocking(fd);
+        if (opts_.sndbufBytes > 0)
+            setSendBufferSize(fd, opts_.sndbufBytes);
         auto s = std::make_unique<Session>();
         s->id = nextSessionId_++;
         s->fd = Fd(fd);
+        s->lastActivity = std::chrono::steady_clock::now();
         sessions_.push_back(std::move(s));
     }
 }
@@ -194,6 +290,7 @@ FarmServer::handleReadable(Session &s)
     }
     if (n < 0)
         return;
+    s.lastActivity = std::chrono::steady_clock::now();
     s.in.feed(chunk);
     std::string frame;
     while (!s.closing && s.in.next(frame))
@@ -236,9 +333,22 @@ FarmServer::handleFrame(Session &s, const std::string &frame)
             sendFrame(s, serializeStatus(snapshot()));
             return;
         }
+        if (hdr.magic == kDrainReqMagic) {
+            requireRecord(parseDrainReq(frame), frame,
+                          "drain request");
+            DrainAckMsg ack;
+            ack.inFlight = dispatcher_->inFlight();
+            ack.abandoned = dispatcher_->queueDepth();
+            ack.sweepsActive = sweeps_.size();
+            sendFrame(s, serializeDrainAck(ack));
+            // Latched, not immediate: run() checks before its next
+            // poll, so this ack is queued (and usually flushed) first.
+            drainRequested_.store(true, std::memory_order_relaxed);
+            return;
+        }
         scsim_throw(ConfigError,
-                    "unexpected %s record (client must send submit or "
-                    "status-req after the handshake)",
+                    "unexpected %s record (client must send submit, "
+                    "status-req or drain-req after the handshake)",
                     hdr.magic.c_str());
     } catch (const SimError &e) {
         sendFrame(s, serializeError(e.what()));
@@ -247,8 +357,47 @@ FarmServer::handleFrame(Session &s, const std::string &frame)
 }
 
 void
+FarmServer::sendBusy(Session &s, const char *reason,
+                     std::uint64_t retryAfterMs)
+{
+    BusyMsg b;
+    b.reason = reason;
+    b.retryAfterMs = retryAfterMs;
+    b.queueDepth = dispatcher_->queueDepth() + dispatcher_->inFlight();
+    ++submitsRejected_;
+    // Explicitly retryable: the session stays open so the client can
+    // back off and resubmit on the same connection.
+    sendFrame(s, serializeBusy(b));
+}
+
+void
 FarmServer::handleSubmit(Session &s, SubmitMsg msg)
 {
+    // Admission control comes before validation: a refused submission
+    // costs the daemon nothing but this reply.
+    if (draining_ || drainRequested_.load(std::memory_order_relaxed)) {
+        sendBusy(s, "draining", 0);
+        return;
+    }
+    if (opts_.maxSweepsPerClient) {
+        std::uint64_t mine = 0;
+        for (const auto &[id, sw] : sweeps_)
+            if (sw.submitter == s.id)
+                ++mine;
+        if (mine >= opts_.maxSweepsPerClient) {
+            sendBusy(s, "client-cap", 500);
+            return;
+        }
+    }
+    if (opts_.maxQueuedJobs) {
+        std::uint64_t load = dispatcher_->queueDepth()
+            + dispatcher_->inFlight();
+        if (load + msg.spec.jobs.size() > opts_.maxQueuedJobs) {
+            sendBusy(s, "queue-full", 500);
+            return;
+        }
+    }
+
     // Same whole-spec validation as a local SweepEngine run: every
     // duplicate tag and invalid config reported at once, before any
     // job is queued.
@@ -280,6 +429,7 @@ FarmServer::handleSubmit(Session &s, SubmitMsg msg)
     ActiveSweep sw;
     sw.id = nextSweepId_++;
     sw.owner = msg.detach ? 0 : s.id;
+    sw.submitter = s.id;
     sw.name = msg.name;
     sw.specHash = specHash;
     sw.tags.reserve(jobCount);
@@ -421,8 +571,21 @@ FarmServer::drainCompletions()
     }
     for (CompletionEvent &ev : batch) {
         auto it = sweeps_.find(ev.sweepId);
-        if (it == sweeps_.end())
-            continue;  // sweep already finished (cannot happen today)
+        if (it == sweeps_.end()) {
+            // A completion for a sweep we no longer track.  Nothing
+            // reaches here through any path we know of — which is why
+            // it must be counted and said out loud, not swallowed: if
+            // the accounting invariant breaks, status shows it.
+            ++staleCompletions_;
+            if (!staleWarned_) {
+                staleWarned_ = true;
+                scsim_warn("farm: dropped a completion for unknown "
+                           "sweep %llu (counted in status as "
+                           "staleCompletions; warned once)",
+                           static_cast<unsigned long long>(ev.sweepId));
+            }
+            continue;
+        }
         ActiveSweep &sw = it->second;
 
         // Journal before streaming: anything the client saw is on
@@ -486,19 +649,161 @@ FarmServer::snapshot() const
     st.cacheEvicted = cache.evicted();
     st.cacheDiskBytes = cache.diskBytes();
     st.cacheMaxBytes = cache.maxDiskBytes();
+    st.draining = draining_
+        || drainRequested_.load(std::memory_order_relaxed);
+    st.maxQueuedJobs = opts_.maxQueuedJobs;
+    st.maxSweepsPerClient = opts_.maxSweepsPerClient;
+    st.submitsRejected = submitsRejected_;
+    st.idleDisconnects = idleDisconnects_;
+    st.slowReaderDisconnects = slowReaderDisconnects_;
+    st.connectionsShed = connectionsShed_;
+    st.acceptFailures = acceptFailures_;
+    st.staleCompletions = staleCompletions_;
     return st;
+}
+
+int
+FarmServer::pollTimeoutMs(std::chrono::steady_clock::time_point now)
+    const
+{
+    using namespace std::chrono;
+    steady_clock::time_point next{};
+    bool have = false;
+    auto consider = [&](steady_clock::time_point tp) {
+        if (!have || tp < next) {
+            next = tp;
+            have = true;
+        }
+    };
+    if (opts_.idleTimeoutSec > 0) {
+        auto idle = duration_cast<steady_clock::duration>(
+            duration<double>(opts_.idleTimeoutSec));
+        for (const auto &s : sessions_)
+            if (!s->closing && !ownsSweep(s->id))
+                consider(s->lastActivity + idle);
+    }
+    if (acceptPausedUntil_ > now)
+        consider(acceptPausedUntil_);
+    if (!have)
+        return -1;
+    auto ms = duration_cast<milliseconds>(next - now).count();
+    return ms < 0 ? 0 : static_cast<int>(std::min<long long>(
+                            ms + 1, 60'000));
+}
+
+void
+FarmServer::enforceIdleDeadlines(
+    std::chrono::steady_clock::time_point now)
+{
+    using namespace std::chrono;
+    if (opts_.idleTimeoutSec <= 0)
+        return;
+    auto idle = duration_cast<steady_clock::duration>(
+        duration<double>(opts_.idleTimeoutSec));
+    for (auto &s : sessions_) {
+        if (s->closing || ownsSweep(s->id))
+            continue;
+        if (now - s->lastActivity < idle)
+            continue;
+        // Best-effort goodbye; a peer too slow to read even this gets
+        // the buffer dropped — holding its fd is the one thing the
+        // deadline exists to prevent.
+        sendFrame(*s, serializeError(detail::format(
+                          "idle timeout: no activity for %.1fs; "
+                          "reconnect to continue",
+                          opts_.idleTimeoutSec)));
+        s->out.clear();
+        s->closing = true;
+        ++idleDisconnects_;
+    }
+}
+
+void
+FarmServer::performDrain()
+{
+    draining_ = true;
+    if (!opts_.quiet)
+        std::fprintf(stderr,
+                     "farm: draining: %llu job(s) in flight, %llu "
+                     "queued (abandoned for --resume), %zu sweep(s) "
+                     "active\n",
+                     static_cast<unsigned long long>(
+                         dispatcher_->inFlight()),
+                     static_cast<unsigned long long>(
+                         dispatcher_->queueDepth()),
+                     sweeps_.size());
+
+    // Join the workers here, on the poll thread, rather than polling
+    // inFlight()==0: the dispatcher decrements its in-flight count
+    // before the completion callback queues, so a count-based wait
+    // could observe zero with the final result still unqueued.  After
+    // the join, every completion is in the queue; drain it once and
+    // every finished job is journaled and streamed.
+    dispatcher_->stop();
+    drainCompletions();
+
+    // Sweeps still pending lost their queued jobs to the drain: tell
+    // each attached client exactly where it stands.
+    for (auto &[id, sw] : sweeps_) {
+        if (!sw.owner)
+            continue;
+        Session *owner = sessionById(sw.owner);
+        if (!owner)
+            continue;
+        std::size_t total = sw.tags.size();
+        sendFrame(*owner,
+                  serializeError(detail::format(
+                      "daemon draining: sweep '%s' interrupted with "
+                      "%zu of %zu jobs journaled; resubmit with "
+                      "--resume after the daemon restarts",
+                      sw.name.c_str(),
+                      total - static_cast<std::size_t>(sw.pending),
+                      total)));
+    }
+
+    // Patient flush: give slow-but-alive readers a bounded window to
+    // take delivery of the tail (jobdones, sweepdones, the goodbyes).
+    auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::seconds(3);
+    for (;;) {
+        std::vector<struct pollfd> fds;
+        for (auto &s : sessions_) {
+            flushOut(*s);
+            if (!s->out.empty())
+                fds.push_back({ s->fd.get(), POLLOUT, 0 });
+        }
+        if (fds.empty() || std::chrono::steady_clock::now() >= deadline)
+            break;
+        ::poll(fds.data(), fds.size(), 100);
+    }
+    sessions_.clear();
+    if (!opts_.quiet)
+        std::fprintf(stderr, "farm: drain complete\n");
 }
 
 void
 FarmServer::run()
 {
     while (!stopRequested_.load(std::memory_order_relaxed)) {
+        if (drainRequested_.load(std::memory_order_relaxed)) {
+            performDrain();
+            return;
+        }
+
+        auto now = std::chrono::steady_clock::now();
+        bool acceptPaused = acceptPausedUntil_ > now;
+
         std::vector<struct pollfd> fds;
         fds.push_back({ wakeRead_, POLLIN, 0 });
-        if (unixListener_.valid())
+        std::size_t unixIdx = 0, tcpIdx = 0;
+        if (unixListener_.valid() && !acceptPaused) {
+            unixIdx = fds.size();
             fds.push_back({ unixListener_.get(), POLLIN, 0 });
-        if (tcpListener_.valid())
+        }
+        if (tcpListener_.valid() && !acceptPaused) {
+            tcpIdx = fds.size();
             fds.push_back({ tcpListener_.get(), POLLIN, 0 });
+        }
         std::size_t firstSession = fds.size();
         for (auto &s : sessions_) {
             short events = s->closing ? 0 : POLLIN;
@@ -507,7 +812,7 @@ FarmServer::run()
             fds.push_back({ s->fd.get(), events, 0 });
         }
 
-        int rc = ::poll(fds.data(), fds.size(), -1);
+        int rc = ::poll(fds.data(), fds.size(), pollTimeoutMs(now));
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
@@ -522,13 +827,9 @@ FarmServer::run()
         }
         drainCompletions();
 
-        std::size_t li = 1;
-        if (unixListener_.valid()) {
-            if (fds[li].revents & POLLIN)
-                acceptOn(unixListener_);
-            ++li;
-        }
-        if (tcpListener_.valid() && (fds[li].revents & POLLIN))
+        if (unixIdx && (fds[unixIdx].revents & POLLIN))
+            acceptOn(unixListener_);
+        if (tcpIdx && (fds[tcpIdx].revents & POLLIN))
             acceptOn(tcpListener_);
 
         // Sessions may be added during this pass (never removed until
@@ -548,6 +849,8 @@ FarmServer::run()
                 && (fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
                 handleReadable(*s);
         }
+
+        enforceIdleDeadlines(std::chrono::steady_clock::now());
 
         std::vector<std::uint64_t> dead;
         for (auto &s : sessions_)

@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,44 @@ struct FarmServerOptions
      * an in-flight job from its snapshot instead of cycle 0.
      */
     std::uint64_t checkpointCycles = 0;
+
+    // ---- admission control & liveness ---------------------------------
+
+    /**
+     * Cap on jobs queued + in flight across all sweeps; a submission
+     * that would push past it gets scsim-busy ("queue-full") instead
+     * of being admitted.  0 = unbounded (the pre-v2 behaviour).
+     */
+    std::uint64_t maxQueuedJobs = 0;
+
+    /** Cap on concurrently active sweeps submitted by one connection;
+     *  over it, scsim-busy ("client-cap").  0 = unbounded. */
+    std::uint64_t maxSweepsPerClient = 0;
+
+    /**
+     * Disconnect a connection that owns no active sweep and has been
+     * silent this long (slow-loris defense: a peer that connects and
+     * trickles or sends nothing cannot hold an fd forever).  0 = off.
+     */
+    double idleTimeoutSec = 0.0;
+
+    /**
+     * Cap on bytes buffered for one session awaiting POLLOUT.  A
+     * client that stops reading while its results stream would
+     * otherwise grow this without bound; at the cap the session is
+     * disconnected and its sweeps detach (jobs keep running and
+     * journaling — `submit --resume` recovers them).  0 = unbounded.
+     */
+    std::uint64_t maxWriteBufferBytes = 32u << 20;
+
+    /** listen(2) backlog for both listeners. */
+    int listenBacklog = kDefaultListenBacklog;
+
+    /** Kernel SO_SNDBUF for accepted sessions; 0 = OS default.  An
+     *  ops/test knob: shrinking it makes maxWriteBufferBytes — not
+     *  megabytes of kernel buffering — decide when a slow reader is
+     *  shed. */
+    int sndbufBytes = 0;
 };
 
 class FarmServer
@@ -94,6 +133,14 @@ class FarmServer
      */
     void stop();
 
+    /**
+     * Request a graceful drain: stop admitting sweeps, let in-flight
+     * jobs finish and journal, notify attached clients, then return
+     * from run().  Async-signal-safe like stop().  A second drain()
+     * escalates to stop() — two SIGTERMs mean "now".
+     */
+    void drain();
+
     /** The TCP port actually bound (ephemeral resolution); -1 if none. */
     int boundTcpPort() const { return tcpPort_; }
 
@@ -109,12 +156,18 @@ class FarmServer
         std::string out;          //!< bytes awaiting POLLOUT
         bool helloDone = false;
         bool closing = false;     //!< flush out, then close
+        /** Last accept/read/write progress; idle deadlines key off it. */
+        std::chrono::steady_clock::time_point lastActivity;
     };
 
     struct ActiveSweep
     {
         std::uint64_t id = 0;
         std::uint64_t owner = 0;  //!< session id; 0 = detached
+        /** Session that submitted it (kept after detach; session ids
+         *  are never reused, so a dead submitter counts against no
+         *  one).  The per-client sweep cap counts these. */
+        std::uint64_t submitter = 0;
         std::string name;
         std::uint64_t specHash = 0;
         std::vector<std::string> tags;
@@ -143,6 +196,14 @@ class FarmServer
     void closeSession(std::uint64_t id);
     Session *sessionById(std::uint64_t id);
 
+    bool ownsSweep(std::uint64_t sessionId) const;
+    std::uint64_t oldestIdleSession() const;
+    void sendBusy(Session &s, const char *reason,
+                  std::uint64_t retryAfterMs);
+    int pollTimeoutMs(std::chrono::steady_clock::time_point now) const;
+    void enforceIdleDeadlines(std::chrono::steady_clock::time_point now);
+    void performDrain();
+
     FarmServerOptions opts_;
     Fd unixListener_;
     Fd tcpListener_;
@@ -150,7 +211,20 @@ class FarmServer
     int wakeRead_ = -1;
     int wakeWrite_ = -1;
     std::atomic<bool> stopRequested_{ false };
+    std::atomic<bool> drainRequested_{ false };
+    bool draining_ = false;  //!< poll thread latched the drain
     std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point acceptPausedUntil_{};
+
+    // Degradation counters (poll thread only; see FarmStatus).
+    std::uint64_t submitsRejected_ = 0;
+    std::uint64_t idleDisconnects_ = 0;
+    std::uint64_t slowReaderDisconnects_ = 0;
+    std::uint64_t connectionsShed_ = 0;
+    std::uint64_t acceptFailures_ = 0;
+    std::uint64_t staleCompletions_ = 0;
+    bool staleWarned_ = false;
+    std::set<int> warnedAcceptErrnos_;
 
     std::unique_ptr<Dispatcher> dispatcher_;
     std::mutex completionsMutex_;

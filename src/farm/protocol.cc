@@ -370,6 +370,89 @@ parseSweepDone(const std::string &frame, SweepDoneMsg &out)
     return d;
 }
 
+// ---- admission control ------------------------------------------------
+
+std::string
+serializeBusy(const BusyMsg &m)
+{
+    std::string payload;
+    putLine(payload, "reason", escapeLine(m.reason));
+    putU64(payload, "retryafterms", m.retryAfterMs);
+    putU64(payload, "queuedepth", m.queueDepth);
+    return runner::frameRecord(kBusyMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseBusy(const std::string &frame, BusyMsg &out)
+{
+    BusyMsg m;
+    WireDecode d = parseLines(
+        kBusyMagic, frame, [&](const std::string &key,
+                               std::istringstream &ls) {
+            if (key == "reason") {
+                m.reason = unescapeLine(restOfLine(ls));
+                return true;
+            }
+            if (key == "retryafterms")
+                return static_cast<bool>(ls >> m.retryAfterMs);
+            if (key == "queuedepth")
+                return static_cast<bool>(ls >> m.queueDepth);
+            return true;
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(m);
+    return d;
+}
+
+// ---- drain ------------------------------------------------------------
+
+std::string
+serializeDrainReq()
+{
+    return runner::frameRecord(kDrainReqMagic, kFarmProtocolVersion,
+                               "");
+}
+
+WireDecode
+parseDrainReq(const std::string &frame)
+{
+    std::string payload;
+    return runner::unframeRecord(kDrainReqMagic, kFarmProtocolVersion,
+                                 frame, payload);
+}
+
+std::string
+serializeDrainAck(const DrainAckMsg &m)
+{
+    std::string payload;
+    putU64(payload, "inflight", m.inFlight);
+    putU64(payload, "abandoned", m.abandoned);
+    putU64(payload, "sweepsactive", m.sweepsActive);
+    return runner::frameRecord(kDrainAckMagic, kFarmProtocolVersion,
+                               payload);
+}
+
+WireDecode
+parseDrainAck(const std::string &frame, DrainAckMsg &out)
+{
+    DrainAckMsg m;
+    WireDecode d = parseLines(
+        kDrainAckMagic, frame, [&](const std::string &key,
+                                   std::istringstream &ls) {
+            if (key == "inflight")
+                return static_cast<bool>(ls >> m.inFlight);
+            if (key == "abandoned")
+                return static_cast<bool>(ls >> m.abandoned);
+            if (key == "sweepsactive")
+                return static_cast<bool>(ls >> m.sweepsActive);
+            return true;
+        });
+    if (d == WireDecode::Ok)
+        out = std::move(m);
+    return d;
+}
+
 // ---- status -----------------------------------------------------------
 
 double
@@ -421,6 +504,15 @@ serializeStatus(const FarmStatus &s)
     putU64(payload, "cacheevicted", s.cacheEvicted);
     putU64(payload, "cachediskbytes", s.cacheDiskBytes);
     putU64(payload, "cachemaxbytes", s.cacheMaxBytes);
+    putBool(payload, "draining", s.draining);
+    putU64(payload, "maxqueuedjobs", s.maxQueuedJobs);
+    putU64(payload, "maxsweepsperclient", s.maxSweepsPerClient);
+    putU64(payload, "submitsrejected", s.submitsRejected);
+    putU64(payload, "idledisconnects", s.idleDisconnects);
+    putU64(payload, "slowreaderdisconnects", s.slowReaderDisconnects);
+    putU64(payload, "connectionsshed", s.connectionsShed);
+    putU64(payload, "acceptfailures", s.acceptFailures);
+    putU64(payload, "stalecompletions", s.staleCompletions);
     return runner::frameRecord(kStatusMagic, kFarmProtocolVersion,
                                payload);
 }
@@ -474,6 +566,29 @@ parseStatus(const std::string &frame, FarmStatus &out)
                 return static_cast<bool>(ls >> s.cacheDiskBytes);
             if (key == "cachemaxbytes")
                 return static_cast<bool>(ls >> s.cacheMaxBytes);
+            if (key == "draining") {
+                int b;
+                if (!(ls >> b))
+                    return false;
+                s.draining = b != 0;
+                return true;
+            }
+            if (key == "maxqueuedjobs")
+                return static_cast<bool>(ls >> s.maxQueuedJobs);
+            if (key == "maxsweepsperclient")
+                return static_cast<bool>(ls >> s.maxSweepsPerClient);
+            if (key == "submitsrejected")
+                return static_cast<bool>(ls >> s.submitsRejected);
+            if (key == "idledisconnects")
+                return static_cast<bool>(ls >> s.idleDisconnects);
+            if (key == "slowreaderdisconnects")
+                return static_cast<bool>(ls >> s.slowReaderDisconnects);
+            if (key == "connectionsshed")
+                return static_cast<bool>(ls >> s.connectionsShed);
+            if (key == "acceptfailures")
+                return static_cast<bool>(ls >> s.acceptFailures);
+            if (key == "stalecompletions")
+                return static_cast<bool>(ls >> s.staleCompletions);
             return true;
         });
     if (d == WireDecode::Ok)
@@ -519,8 +634,26 @@ statusToJson(const FarmStatus &s)
                           s.cacheEvicted);
     out += detail::format("  \"cacheDiskBytes\": %" PRIu64 ",\n",
                           s.cacheDiskBytes);
-    out += detail::format("  \"cacheMaxBytes\": %" PRIu64 "\n",
+    out += detail::format("  \"cacheMaxBytes\": %" PRIu64 ",\n",
                           s.cacheMaxBytes);
+    out += detail::format("  \"draining\": %s,\n",
+                          s.draining ? "true" : "false");
+    out += detail::format("  \"maxQueuedJobs\": %" PRIu64 ",\n",
+                          s.maxQueuedJobs);
+    out += detail::format("  \"maxSweepsPerClient\": %" PRIu64 ",\n",
+                          s.maxSweepsPerClient);
+    out += detail::format("  \"submitsRejected\": %" PRIu64 ",\n",
+                          s.submitsRejected);
+    out += detail::format("  \"idleDisconnects\": %" PRIu64 ",\n",
+                          s.idleDisconnects);
+    out += detail::format("  \"slowReaderDisconnects\": %" PRIu64 ",\n",
+                          s.slowReaderDisconnects);
+    out += detail::format("  \"connectionsShed\": %" PRIu64 ",\n",
+                          s.connectionsShed);
+    out += detail::format("  \"acceptFailures\": %" PRIu64 ",\n",
+                          s.acceptFailures);
+    out += detail::format("  \"staleCompletions\": %" PRIu64 "\n",
+                          s.staleCompletions);
     out += "}\n";
     return out;
 }

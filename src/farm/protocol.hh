@@ -47,8 +47,10 @@
 
 namespace scsim::farm {
 
-/** Farm protocol version; bump on any message-shape change. */
-inline constexpr std::uint32_t kFarmProtocolVersion = 1;
+/** Farm protocol version; bump on any message-shape change.
+ *  v2: scsim-busy admission replies, scsim-drain-req/-drain-ack, and
+ *  the FarmStatus degradation counters. */
+inline constexpr std::uint32_t kFarmProtocolVersion = 2;
 
 /** Human-readable build version (CMake project version). */
 const char *buildVersion();
@@ -62,6 +64,9 @@ inline constexpr const char *kSweepDoneMagic = "scsim-sweepdone";
 inline constexpr const char *kStatusReqMagic = "scsim-status-req";
 inline constexpr const char *kStatusMagic = "scsim-status";
 inline constexpr const char *kErrorMagic = "scsim-error";
+inline constexpr const char *kBusyMagic = "scsim-busy";
+inline constexpr const char *kDrainReqMagic = "scsim-drain-req";
+inline constexpr const char *kDrainAckMagic = "scsim-drain-ack";
 
 // ---- handshake --------------------------------------------------------
 
@@ -139,6 +144,46 @@ std::string serializeSweepDone(const SweepDoneMsg &m);
 runner::WireDecode parseSweepDone(const std::string &frame,
                                   SweepDoneMsg &out);
 
+// ---- admission control ------------------------------------------------
+
+/**
+ * The server's "not now" to a submission: the daemon is alive and the
+ * spec may be fine, but admission control refused it — the job queue
+ * is full, the client is at its concurrent-sweep cap, or the daemon
+ * is draining.  Unlike scsim-error this is explicitly retryable; the
+ * client backs off and resubmits (see FarmClient::RetryPolicy).
+ */
+struct BusyMsg
+{
+    std::string reason;  //!< "queue-full", "client-cap", "draining"
+    std::uint64_t retryAfterMs = 0;  //!< server's backoff hint
+    std::uint64_t queueDepth = 0;    //!< jobs queued+running right now
+};
+
+std::string serializeBusy(const BusyMsg &m);
+runner::WireDecode parseBusy(const std::string &frame, BusyMsg &out);
+
+// ---- drain ------------------------------------------------------------
+
+/**
+ * Ask the daemon to drain: stop admitting sweeps, finish and journal
+ * everything in flight, notify attached clients, then exit.  The ack
+ * is a snapshot of what the daemon still has to do before it goes.
+ */
+std::string serializeDrainReq();
+runner::WireDecode parseDrainReq(const std::string &frame);
+
+struct DrainAckMsg
+{
+    std::uint64_t inFlight = 0;   //!< jobs running when drain began
+    std::uint64_t abandoned = 0;  //!< queued jobs that will not run
+    std::uint64_t sweepsActive = 0;
+};
+
+std::string serializeDrainAck(const DrainAckMsg &m);
+runner::WireDecode parseDrainAck(const std::string &frame,
+                                 DrainAckMsg &out);
+
 // ---- status -----------------------------------------------------------
 
 /** The `status --json` payload: one snapshot of daemon health. */
@@ -167,6 +212,19 @@ struct FarmStatus
     std::uint64_t cacheEvicted = 0;
     std::uint64_t cacheDiskBytes = 0;
     std::uint64_t cacheMaxBytes = 0;
+
+    // Robustness: configured limits and degradation counters.  Each
+    // counter names one defensive action the daemon took instead of
+    // failing; a healthy farm shows all zeros.
+    bool draining = false;          //!< no longer admitting sweeps
+    std::uint64_t maxQueuedJobs = 0;      //!< 0 = unbounded
+    std::uint64_t maxSweepsPerClient = 0; //!< 0 = unbounded
+    std::uint64_t submitsRejected = 0;    //!< scsim-busy replies sent
+    std::uint64_t idleDisconnects = 0;    //!< idle-deadline closes
+    std::uint64_t slowReaderDisconnects = 0;  //!< write-cap closes
+    std::uint64_t connectionsShed = 0;    //!< closed to free an fd
+    std::uint64_t acceptFailures = 0;     //!< accept() errno events
+    std::uint64_t staleCompletions = 0;   //!< completions w/o a sweep
 
     /** Hit fraction in [0,1]; 0 when nothing was looked up. */
     double cacheHitRate() const;

@@ -41,7 +41,7 @@ Fd::close()
 }
 
 Fd
-listenUnix(const std::string &path)
+listenUnix(const std::string &path, int backlog)
 {
     sockaddr_un addr;
     fillUnixAddr(path, addr);
@@ -71,14 +71,14 @@ listenUnix(const std::string &path)
             scsim_throw(SimError, "cannot rebind '%s': %s",
                         path.c_str(), std::strerror(errno));
     }
-    if (::listen(fd.get(), 64) != 0)
+    if (::listen(fd.get(), backlog) != 0)
         scsim_throw(SimError, "listen on '%s' failed: %s", path.c_str(),
                     std::strerror(errno));
     return fd;
 }
 
 Fd
-listenTcp(int port, int &boundPort)
+listenTcp(int port, int &boundPort, int backlog)
 {
     Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!fd.valid())
@@ -95,7 +95,7 @@ listenTcp(int port, int &boundPort)
                sizeof addr) != 0)
         scsim_throw(SimError, "cannot bind 127.0.0.1:%d: %s", port,
                     std::strerror(errno));
-    if (::listen(fd.get(), 64) != 0)
+    if (::listen(fd.get(), backlog) != 0)
         scsim_throw(SimError, "listen on port %d failed: %s", port,
                     std::strerror(errno));
 
@@ -189,6 +189,12 @@ setNonblocking(int fd)
     int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags >= 0)
         ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setSendBufferSize(int fd, int bytes)
+{
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
 }
 
 } // namespace scsim::farm

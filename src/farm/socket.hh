@@ -54,19 +54,25 @@ class Fd
     int fd_ = -1;
 };
 
+/** Default listen(2) backlog for the farm listeners. */
+inline constexpr int kDefaultListenBacklog = 64;
+
 /**
  * Bind + listen on a Unix-domain socket at @p path.  An existing
  * socket file that nothing answers on (a previous daemon's remains)
  * is removed and rebound; a live one throws SimError — two daemons
- * must not fight over one path.
+ * must not fight over one path.  @p backlog is the listen(2) queue
+ * depth (ServerOptions exposes it; see FarmServerOptions).
  */
-Fd listenUnix(const std::string &path);
+Fd listenUnix(const std::string &path,
+              int backlog = kDefaultListenBacklog);
 
 /**
  * Bind + listen on loopback TCP @p port (0 = ephemeral).  The port
  * actually bound is written back through @p boundPort.
  */
-Fd listenTcp(int port, int &boundPort);
+Fd listenTcp(int port, int &boundPort,
+             int backlog = kDefaultListenBacklog);
 
 /** Connect to a Unix-domain socket; throws SimError on failure. */
 Fd connectUnix(const std::string &path);
@@ -85,6 +91,16 @@ long readSome(int fd, std::string &out);
 
 /** Mark @p fd nonblocking (server loop fds). */
 void setNonblocking(int fd);
+
+/**
+ * Shrink @p fd's kernel send buffer to roughly @p bytes (the kernel
+ * clamps to its minimum).  The server applies this to accepted
+ * sessions when FarmServerOptions::sndbufBytes is set, so the
+ * write-buffer cap — not megabytes of kernel buffering — decides when
+ * a slow reader is shed.  Failure is ignored: it only loosens the
+ * bound.
+ */
+void setSendBufferSize(int fd, int bytes);
 
 } // namespace scsim::farm
 

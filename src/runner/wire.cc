@@ -319,6 +319,17 @@ FrameAssembler::feed(const char *data, std::size_t n)
         buf_.append(data, n);
 }
 
+void
+FrameAssembler::poison()
+{
+    // A poisoned stream never yields another frame, so whatever is
+    // buffered is garbage a hostile peer made us hold — free it now
+    // rather than when the connection object dies.
+    corrupt_ = true;
+    buf_.clear();
+    buf_.shrink_to_fit();
+}
+
 bool
 FrameAssembler::next(std::string &frame)
 {
@@ -331,7 +342,7 @@ FrameAssembler::next(std::string &frame)
     auto nl = buf_.find('\n');
     if (nl == std::string::npos) {
         if (buf_.size() > 32)
-            corrupt_ = true;
+            poison();
         return false;
     }
 
@@ -341,7 +352,7 @@ FrameAssembler::next(std::string &frame)
     std::string trailing;
     if (!(hs >> kw >> nbytes) || kw != "frame" || (hs >> trailing)
         || nbytes > maxFrameBytes_) {
-        corrupt_ = true;
+        poison();
         return false;
     }
 

@@ -100,10 +100,14 @@ std::string envelopeFrame(const std::string &frame);
  * next() yields nothing further): on a byte stream there is no way to
  * resynchronise past unframed garbage.
  */
+/** Default FrameAssembler frame-size cap (64 MiB): any peer claiming
+ *  a larger frame is poisoning the stream, not speaking the protocol. */
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
 class FrameAssembler
 {
   public:
-    explicit FrameAssembler(std::size_t maxFrameBytes = 64u << 20)
+    explicit FrameAssembler(std::size_t maxFrameBytes = kMaxFrameBytes)
         : maxFrameBytes_(maxFrameBytes)
     {
     }
@@ -121,7 +125,12 @@ class FrameAssembler
     /** Bytes buffered awaiting a complete frame. */
     std::size_t buffered() const { return buf_.size(); }
 
+    /** The frame-size cap this assembler enforces. */
+    std::size_t maxFrameBytes() const { return maxFrameBytes_; }
+
   private:
+    void poison();
+
     std::string buf_;
     std::size_t maxFrameBytes_;
     bool corrupt_ = false;

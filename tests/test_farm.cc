@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include <poll.h>
+
 #include <gtest/gtest.h>
 
 #include "common/fault_inject.hh"
@@ -130,6 +132,16 @@ class ServerRunner
     }
 
     int port() const { return server_->boundTcpPort(); }
+
+    FarmServer &server() { return *server_; }
+
+    /** Wait for run() to return on its own (drain tests). */
+    void
+    waitExit()
+    {
+        if (thread_.joinable())
+            thread_.join();
+    }
 
   private:
     std::unique_ptr<FarmServer> server_;
@@ -262,6 +274,120 @@ TEST(FrameAssembler, TrailingTokenOnEnvelopeIsCorrupt)
     EXPECT_TRUE(as.corrupt());
 }
 
+// ---- FrameAssembler fuzz-regression corpus ----------------------------
+//
+// Hand-picked hostile inputs the seeded fuzzer (test_farm_fuzz.cc)
+// hits by the million; pinned here so each stays covered in the plain
+// preset at human-readable size.
+
+TEST(FrameAssemblerCorpus, EnvelopeClaimingFewerBytesYieldsTruncation)
+{
+    // The envelope lies low: the "frame" it delimits is a truncated
+    // record (the checksum layer rejects it), and the real frame's
+    // tail then reads as a garbage envelope line, poisoning the
+    // stream — never a silently resynchronised parse.
+    std::string frame =
+        runner::frameRecord("scsim-test", 1, "k v\npayload line\n");
+    std::string wire =
+        "frame " + std::to_string(frame.size() - 10) + "\n" + frame;
+
+    FrameAssembler as;
+    as.feed(wire);
+    std::string out;
+    ASSERT_TRUE(as.next(out));
+    EXPECT_EQ(out.size(), frame.size() - 10);
+    std::string payload;
+    EXPECT_EQ(runner::unframeRecord("scsim-test", 1, out, payload),
+              WireDecode::Corrupt);
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+}
+
+TEST(FrameAssemblerCorpus, EnvelopeClaimingMoreBytesSwallowsNextFrame)
+{
+    // The envelope lies high: the declared frame swallows the start
+    // of the next envelope, so neither record survives — the one
+    // yielded frame fails its checksum, and nothing valid follows.
+    std::string f1 = runner::frameRecord("scsim-test", 1, "first\n");
+    std::string f2 = runner::frameRecord("scsim-test", 1, "second\n");
+    std::string wire = "frame " + std::to_string(f1.size() + 8) + "\n"
+        + f1 + runner::envelopeFrame(f2);
+
+    FrameAssembler as;
+    as.feed(wire);
+    std::string out;
+    int yielded = 0;
+    while (as.next(out)) {
+        ++yielded;
+        std::string payload;
+        EXPECT_EQ(runner::unframeRecord("scsim-test", 1, out, payload),
+                  WireDecode::Corrupt);
+    }
+    EXPECT_LE(yielded, 2);
+    EXPECT_NE(out, f2);
+}
+
+TEST(FrameAssemblerCorpus, LyingEnvelopeSplitAtEveryOffsetNeverPanics)
+{
+    // Every split point of a lying envelope (nbytes one too small and
+    // one too large), fed in two chunks: the assembler must never
+    // yield the original frame and must never crash — truncated or
+    // swallowed, plus whatever follows, is at worst poison.
+    std::string frame = runner::frameRecord("scsim-test", 1, "abc\n");
+    for (long lie : { -1L, 1L }) {
+        std::string wire = "frame "
+            + std::to_string(static_cast<long>(frame.size()) + lie)
+            + "\n" + frame;
+        for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+            FrameAssembler as;
+            as.feed(wire.data(), cut);
+            as.feed(wire.data() + cut, wire.size() - cut);
+            std::string out;
+            while (as.next(out))
+                EXPECT_NE(out, frame)
+                    << "lie=" << lie << " cut=" << cut;
+        }
+    }
+}
+
+TEST(FrameAssemblerCorpus, FrameAtExactlyTheCapIsAccepted)
+{
+    // The boundary itself is legal: an envelope declaring exactly
+    // maxFrameBytes must not poison the stream.  (Header only — the
+    // assembler just waits for a body it will never get; allocating
+    // 64 MiB in a unit test helps no one.)
+    FrameAssembler as;
+    as.feed("frame " + std::to_string(as.maxFrameBytes()) + "\n");
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_FALSE(as.corrupt());
+}
+
+TEST(FrameAssemblerCorpus, FrameOneByteOverTheCapIsPoison)
+{
+    FrameAssembler as;
+    as.feed("frame " + std::to_string(as.maxFrameBytes() + 1) + "\n");
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+    EXPECT_EQ(as.buffered(), 0u);  // poisoned buffers are released
+}
+
+TEST(FrameAssemblerCorpus, GarbagePreambleBeforeValidFrameStaysPoison)
+{
+    // A peer speaking the wrong protocol entirely (say, HTTP) poisons
+    // the stream before its first real frame; the valid frame behind
+    // the garbage must NOT be recovered — resync on a byte stream
+    // would mean guessing at record boundaries inside attacker bytes.
+    FrameAssembler as;
+    as.feed(std::string("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+    as.feed(runner::envelopeFrame(
+        runner::frameRecord("scsim-test", 1, "real\n")));
+    std::string out;
+    EXPECT_FALSE(as.next(out));
+    EXPECT_TRUE(as.corrupt());
+}
+
 // ---- frame-header peeking and version rejection -----------------------
 
 TEST(FarmProtocol, PeekFrameHeaderReadsMagicAndVersion)
@@ -279,14 +405,18 @@ TEST(FarmProtocol, PeekFrameHeaderReadsMagicAndVersion)
 
 TEST(FarmProtocol, VersionSkewedRecordThrowsConfigErrorNamingVersions)
 {
-    // A peer speaking farm protocol v2: well-formed frame, higher
-    // version.  The decode must classify it as skew (not corruption)
-    // and requireRecord must name both versions in a ConfigError.
+    // A peer speaking a future farm protocol: well-formed frame,
+    // higher version.  The decode must classify it as skew (not
+    // corruption) and requireRecord must name both versions in a
+    // ConfigError.
     std::string future = runner::frameRecord(
         kHelloMagic, kFarmProtocolVersion + 1, "role client\n");
     HelloMsg hello;
     EXPECT_EQ(parseHello(future, hello), WireDecode::VersionSkew);
 
+    std::string theirs =
+        "v" + std::to_string(kFarmProtocolVersion + 1);
+    std::string ours = "v" + std::to_string(kFarmProtocolVersion);
     try {
         requireRecord(WireDecode::VersionSkew, future, "hello");
         FAIL() << "requireRecord did not throw";
@@ -294,8 +424,8 @@ TEST(FarmProtocol, VersionSkewedRecordThrowsConfigErrorNamingVersions)
         std::string msg = e.what();
         EXPECT_NE(msg.find("version mismatch"), std::string::npos)
             << msg;
-        EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
-        EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(theirs), std::string::npos) << msg;
+        EXPECT_NE(msg.find(ours), std::string::npos) << msg;
     }
 }
 
@@ -402,6 +532,70 @@ TEST(FarmProtocol, ErrorRoundTrips)
     ASSERT_EQ(parseError(serializeError("no such sweep\nline2"), back),
               WireDecode::Ok);
     EXPECT_EQ(back.message, "no such sweep\nline2");
+}
+
+TEST(FarmProtocol, BusyRoundTrips)
+{
+    BusyMsg msg;
+    msg.reason = "queue-full";
+    msg.retryAfterMs = 750;
+    msg.queueDepth = 42;
+
+    BusyMsg back;
+    ASSERT_EQ(parseBusy(serializeBusy(msg), back), WireDecode::Ok);
+    EXPECT_EQ(back.reason, "queue-full");
+    EXPECT_EQ(back.retryAfterMs, 750u);
+    EXPECT_EQ(back.queueDepth, 42u);
+}
+
+TEST(FarmProtocol, DrainReqAndAckRoundTrip)
+{
+    EXPECT_EQ(parseDrainReq(serializeDrainReq()), WireDecode::Ok);
+
+    DrainAckMsg ack;
+    ack.inFlight = 2;
+    ack.abandoned = 9;
+    ack.sweepsActive = 3;
+    DrainAckMsg back;
+    ASSERT_EQ(parseDrainAck(serializeDrainAck(ack), back),
+              WireDecode::Ok);
+    EXPECT_EQ(back.inFlight, 2u);
+    EXPECT_EQ(back.abandoned, 9u);
+    EXPECT_EQ(back.sweepsActive, 3u);
+}
+
+TEST(FarmProtocol, StatusRoundTripsRobustnessCounters)
+{
+    FarmStatus st;
+    st.draining = true;
+    st.maxQueuedJobs = 100;
+    st.maxSweepsPerClient = 4;
+    st.submitsRejected = 7;
+    st.idleDisconnects = 2;
+    st.slowReaderDisconnects = 1;
+    st.connectionsShed = 3;
+    st.acceptFailures = 5;
+    st.staleCompletions = 1;
+
+    FarmStatus back;
+    ASSERT_EQ(parseStatus(serializeStatus(st), back), WireDecode::Ok);
+    EXPECT_TRUE(back.draining);
+    EXPECT_EQ(back.maxQueuedJobs, 100u);
+    EXPECT_EQ(back.maxSweepsPerClient, 4u);
+    EXPECT_EQ(back.submitsRejected, 7u);
+    EXPECT_EQ(back.idleDisconnects, 2u);
+    EXPECT_EQ(back.slowReaderDisconnects, 1u);
+    EXPECT_EQ(back.connectionsShed, 3u);
+    EXPECT_EQ(back.acceptFailures, 5u);
+    EXPECT_EQ(back.staleCompletions, 1u);
+
+    std::string json = statusToJson(back);
+    EXPECT_NE(json.find("\"draining\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"submitsRejected\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"idleDisconnects\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"slowReaderDisconnects\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"staleCompletions\": 1"), std::string::npos);
 }
 
 // ---- result cache disk cap --------------------------------------------
@@ -719,6 +913,251 @@ TEST_F(FarmTest, DetachedSubmissionRunsToCompletion)
     }
     EXPECT_EQ(st.sweepsCompleted, 1u);
     EXPECT_EQ(st.jobsCompleted, 3u);
+}
+
+// ---- admission control, liveness and drain ----------------------------
+
+TEST_F(FarmTest, OverloadedQueueRejectsWithBusyAndNoRetriesThrows)
+{
+    // Queue cap below the spec's job count: admission refuses before
+    // any validation or queueing, and a client configured not to
+    // retry surfaces the reason.
+    FarmServerOptions opts;
+    opts.workers = 1;
+    opts.cacheDir = freshDir("busythrow");
+    opts.maxQueuedJobs = 1;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    FarmClient::RetryPolicy p;
+    p.maxAttempts = 1;
+    client.setRetryPolicy(p);
+    EXPECT_THROW_WITH(client.submit(threeJobSpec(), "big", false),
+                      SimError, "daemon busy");
+
+    // The refusal is retryable, not fatal: the same connection still
+    // serves an admissible submission.
+    FarmStatus st = client.status();
+    EXPECT_EQ(st.submitsRejected, 1u);
+    EXPECT_EQ(st.maxQueuedJobs, 1u);
+
+    SweepSpec one;
+    one.add("solo", tinyCfg(), tinyApp("appsolo"));
+    SweepResult res = client.submit(one, "solo", false);
+    EXPECT_TRUE(res.allOk());
+}
+
+TEST_F(FarmTest, PerClientSweepCapRetriesUntilTheSlotFrees)
+{
+    FarmServerOptions opts;
+    opts.workers = 1;
+    opts.cacheDir = freshDir("clientcap");
+    opts.maxSweepsPerClient = 1;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    // Occupy the one slot with a detached sweep, then submit again on
+    // the same connection: busy ("client-cap") until the detached
+    // sweep finishes, at which point the backoff loop gets through.
+    client.submitDetached(threeJobSpec(), "occupier", false);
+
+    FarmClient::RetryPolicy p;
+    p.maxAttempts = 100;
+    p.baseDelayMs = 25;
+    p.maxDelayMs = 100;
+    client.setRetryPolicy(p);
+    SweepSpec other;
+    other.add("x", tinyCfg(), tinyApp("appx"));
+    SweepResult res = client.submit(other, "waiter", false);
+    EXPECT_TRUE(res.allOk());
+
+    FarmStatus st = client.status();
+    EXPECT_GE(st.submitsRejected, 1u);
+    EXPECT_EQ(st.sweepsCompleted, 2u);
+}
+
+TEST_F(FarmTest, IdleConnectionIsDisconnectedAndCounted)
+{
+    FarmServerOptions opts;
+    opts.workers = 1;
+    opts.cacheDir = freshDir("idle");
+    opts.idleTimeoutSec = 0.2;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    // A slow-loris peer: connects, says nothing, holds the fd.  The
+    // daemon must evict it — read() returns EOF once the goodbye (an
+    // error frame) is flushed and the socket closed.
+    Fd loris = connectTcp(server.port());
+    std::string seen;
+    long n = 1;
+    auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::seconds(10);
+    while (n != 0 && std::chrono::steady_clock::now() < deadline)
+        n = readSome(loris.get(), seen);
+    EXPECT_EQ(n, 0) << "daemon never closed the idle connection";
+    EXPECT_NE(seen.find("idle timeout"), std::string::npos);
+
+    // An *active* client (us, right now) is not evicted, and the
+    // counter shows exactly the one disconnect.
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    FarmStatus st = client.status();
+    EXPECT_EQ(st.idleDisconnects, 1u);
+}
+
+TEST_F(FarmTest, SlowReaderIsShedAndItsSweepSurvivesDetached)
+{
+    std::string stateDir = freshDir("shed_state");
+    SweepSpec spec = threeJobSpec();
+    SweepResult local = localRun(spec);
+
+    FarmServerOptions opts;
+    opts.workers = 2;
+    opts.cacheDir = freshDir("shed_cache");
+    opts.stateDir = stateDir;
+    opts.maxWriteBufferBytes = 1024;  // shed fast...
+    opts.sndbufBytes = 4096;          // ...the kernel can't hide much
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    // A protocol-correct client that never reads: handshake bytes,
+    // a submission, then a flood of status requests whose replies it
+    // leaves rotting in the pipe.  The daemon's write buffer hits the
+    // cap and the session is dropped; its sweep must keep running.
+    {
+        Fd fd = connectTcp(server.port());
+        sendAll(fd.get(),
+                runner::envelopeFrame(
+                    serializeHello(localHello("client"))));
+        SubmitMsg sub;
+        sub.name = "abandoned";
+        sub.spec = spec;
+        sendAll(fd.get(), runner::envelopeFrame(serializeSubmit(sub)));
+        std::string statusReq =
+            runner::envelopeFrame(serializeStatusReq());
+        for (int i = 0; i < 1000; ++i)
+            if (!sendAll(fd.get(), statusReq))
+                break;  // shed mid-flood: the daemon reset us
+        // Hold the fd open WITHOUT reading: closing now would RST the
+        // daemon into the ordinary peer-gone path before its write
+        // buffer ever fills.  events=0 still reports POLLERR/POLLHUP,
+        // which is exactly the daemon shedding us.
+        struct pollfd p = { fd.get(), 0, 0 };
+        ::poll(&p, 1, 20000);
+        EXPECT_TRUE(p.revents & (POLLERR | POLLHUP))
+            << "daemon never shed the slow reader";
+    }
+
+    // The sweep finishes detached, journaling as it goes.
+    FarmClient watcher = FarmClient::connectTcpPort(server.port());
+    FarmStatus st;
+    for (int i = 0; i < 600; ++i) {
+        st = watcher.status();
+        if (st.sweepsCompleted >= 1 && st.slowReaderDisconnects >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_EQ(st.slowReaderDisconnects, 1u);
+    EXPECT_EQ(st.sweepsCompleted, 1u);
+
+    // And --resume adopts every journaled result, byte-identical to a
+    // local isolated run.
+    FarmClient resumer = FarmClient::connectTcpPort(server.port());
+    SweepResult res = resumer.submit(spec, "resumed", true);
+    EXPECT_EQ(res.resumed, 3u);
+    EXPECT_EQ(runner::jsonManifest(spec, res),
+              runner::jsonManifest(spec, local));
+}
+
+TEST_F(FarmTest, DrainFinishesInFlightAndResumeMatchesLocalManifest)
+{
+    SweepSpec spec = threeJobSpec();
+    SweepResult local = localRun(spec);
+    std::string stateDir = freshDir("drain_state");
+
+    // First daemon: submit detached, then drain mid-sweep.  run()
+    // must exit on its own with everything finished-or-journaled.
+    {
+        FarmServerOptions opts;
+        opts.workers = 1;
+        opts.cacheDir = freshDir("drain_cache1");
+        opts.stateDir = stateDir;
+        opts.quiet = true;
+        ServerRunner server(std::move(opts));
+
+        FarmClient client = FarmClient::connectTcpPort(server.port());
+        client.submitDetached(spec, "draining", false);
+        DrainAckMsg ack = client.drain();
+        EXPECT_GE(ack.sweepsActive, 1u);
+        server.waitExit();  // run() returns without stop()
+
+        FarmStatus st = server.server().snapshot();
+        EXPECT_TRUE(st.draining);
+    }
+
+    // Second daemon over the same state dir: --resume adopts whatever
+    // the drain journaled, runs the rest, and the manifest is
+    // byte-identical to the local isolated run.
+    FarmServerOptions opts;
+    opts.workers = 2;
+    opts.cacheDir = freshDir("drain_cache2");
+    opts.stateDir = stateDir;
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    FarmClient client = FarmClient::connectTcpPort(server.port());
+    SweepResult res = client.submit(spec, "resumed", true);
+    EXPECT_TRUE(res.allOk());
+    EXPECT_EQ(runner::jsonManifest(spec, res),
+              runner::jsonManifest(spec, local));
+    EXPECT_EQ(runner::csvManifest(spec, res),
+              runner::csvManifest(spec, local));
+}
+
+TEST_F(FarmTest, SubmitAfterDrainRequestIsNeverAdmitted)
+{
+    FarmServerOptions opts;
+    opts.workers = 1;
+    opts.cacheDir = freshDir("draindeny");
+    opts.quiet = true;
+    ServerRunner server(std::move(opts));
+
+    // One write carrying hello, drain-req and a submit.  However the
+    // daemon's reads slice that, the submit must never be admitted:
+    // processed in the same batch as the drain-req it draws busy
+    // ("draining"); left unread when the drain latches first, it
+    // draws nothing.  An accept is the one forbidden reply.
+    Fd fd = connectTcp(server.port());
+    SubmitMsg sub;
+    sub.name = "late";
+    sub.spec = threeJobSpec();
+    std::string wire =
+        runner::envelopeFrame(serializeHello(localHello("client")))
+        + runner::envelopeFrame(serializeDrainReq())
+        + runner::envelopeFrame(serializeSubmit(sub));
+    ASSERT_TRUE(sendAll(fd.get(), wire));
+
+    std::string bytes;
+    while (readSome(fd.get(), bytes) > 0) {
+    }  // until the draining daemon closes us out
+
+    FrameAssembler as;
+    as.feed(bytes);
+    std::string frame;
+    bool sawAck = false, sawAccept = false;
+    while (as.next(frame)) {
+        runner::FrameHeader hdr;
+        ASSERT_TRUE(runner::peekFrameHeader(frame, hdr));
+        if (hdr.magic == kDrainAckMagic)
+            sawAck = true;
+        if (hdr.magic == kAcceptMagic)
+            sawAccept = true;
+    }
+    EXPECT_TRUE(sawAck);
+    EXPECT_FALSE(sawAccept) << "a submission was admitted mid-drain";
+    server.waitExit();
 }
 
 TEST_F(FarmTest, StatusReportsWorkerAndCacheConfiguration)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The whole CI story in one command: configure, build and test every
+# preset that gates a merge.
+#
+#   tools/ci.sh              # default, asan, tsan (in that order)
+#   tools/ci.sh default      # just the release build + full suite
+#   tools/ci.sh asan tsan    # just the sanitizers
+#
+# Each preset maps to CMakePresets.json: `default` runs the full test
+# suite in Release; `asan`/`tsan` rebuild with the sanitizer and run
+# the concurrency/robustness/farm/fuzz labels (including the >10k-
+# frame protocol fuzzer, so sanitized fuzzing is part of every run).
+# The opt-in daemon smokes (farm_smoke, farm_chaos_smoke,
+# checkpoint_smoke) stay opt-in — enable with
+# `cmake --preset default -DSCSIM_FARM_CHAOS_SMOKE=ON` first.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+[ ${#presets[@]} -gt 0 ] || presets=(default asan tsan)
+
+for p in "${presets[@]}"; do
+    echo "==== preset $p: configure"
+    cmake --preset "$p"
+    echo "==== preset $p: build"
+    cmake --build --preset "$p" -j "$(nproc)"
+    echo "==== preset $p: test"
+    ctest --preset "$p"
+done
+
+echo "PASS: ci (${presets[*]})"

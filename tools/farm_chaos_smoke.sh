@@ -1,0 +1,208 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the hardened sweep farm (`scsim_cli serve`).
+#
+# Where farm_smoke.sh proves the happy path, this drives the daemon
+# through hostile weather and asserts it never crashes and never
+# loses a result:
+#
+#   1. malformed peers: HTTP garbage, a lying `frame` envelope, and a
+#      truncated frame followed by an abrupt close;
+#   2. admission control: a submission bigger than --max-queued-jobs
+#      is refused with scsim-busy and the client's bounded retries
+#      give up cleanly — the daemon stays up;
+#   3. client liveness: a connected-but-silent peer is told about the
+#      idle deadline and disconnected (counted in status --json);
+#   4. real load under fire: two concurrent submissions while a
+#      run-job worker subprocess is SIGKILLed — manifests must still
+#      be byte-identical (`cmp`) to local `sweep --isolate` runs;
+#   5. a client SIGKILLed mid-sweep (the sweep survives detached),
+#      then `scsim_cli drain`: in-flight jobs finish and journal, the
+#      daemon exits 0;
+#   6. daemon restart + `submit --resume` with a fresh cache: the
+#      interrupted sweep's manifests byte-identical to local ones.
+#
+# Usage: tools/farm_chaos_smoke.sh [path-to-scsim_cli]   (default:
+#        build/tools/scsim_cli)
+
+set -euo pipefail
+
+CLI=${1:-build/tools/scsim_cli}
+if [ ! -x "$CLI" ]; then
+    echo "error: $CLI not found — build the default preset first" >&2
+    exit 2
+fi
+CLI=$(readlink -f "$CLI")
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/scsim_farm_chaos.XXXXXX")
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# 2 jobs per app/design pair: A and B pass admission alone, the
+# OVERLOAD spec (6 jobs) exceeds --max-queued-jobs 4 deterministically.
+SWEEP_A=(--apps pb-sgemm --designs RBA --scale 0.1)
+SWEEP_B=(--apps rod-bfs --designs RBA --scale 0.1)
+SWEEP_C=(--apps rod-nw --designs RBA --scale 0.1)
+OVERLOAD=(--apps pb-sgemm,rod-bfs,rod-nw --designs RBA --scale 0.1)
+
+echo "== 1. local reference manifests (sweep --isolate)"
+for s in A B C; do
+    declare -n spec="SWEEP_$s"
+    "$CLI" sweep "${spec[@]}" --isolate --jobs 2 --quiet \
+        --out "$WORK/ref_$s.json" --csv "$WORK/ref_$s.csv"
+done
+
+echo "== 2. start the daemon with tight limits"
+"$CLI" serve --port 0 --workers 2 \
+    --cache-dir "$WORK/cache" --state-dir "$WORK/state" \
+    --max-queued-jobs 4 --max-sweeps-per-client 2 \
+    --idle-timeout 1 --listen-backlog 16 \
+    --quiet >"$WORK/serve.log" 2>&1 &
+DPID=$!
+PORT=
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^serving on tcp port \([0-9]*\)$/\1/p' \
+        "$WORK/serve.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$DPID" 2>/dev/null || {
+        echo "FAIL: daemon died on startup:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: no port line in serve.log" >&2; exit 1; }
+echo "   daemon pid $DPID on tcp port $PORT"
+
+alive() {
+    kill -0 "$DPID" 2>/dev/null \
+        || { echo "FAIL: daemon died ($1)" >&2
+             cat "$WORK/serve.log" >&2; exit 1; }
+}
+
+echo "== 3. malformed peers: garbage, lying envelope, truncated frame"
+# Each peer runs in a subshell with errors tolerated: the daemon may
+# reset the connection the instant it sees garbage, and an EPIPE on
+# our side is the daemon doing its job, not a test failure.
+rawpeer() {
+    (exec 3<>"/dev/tcp/127.0.0.1/$PORT" && printf '%s' "$1" >&3) \
+        2>/dev/null || true
+}
+rawpeer $'GET / HTTP/1.1\r\nHost: x\r\n\r\n'
+rawpeer $'frame 999999999\nnot that many bytes'
+rawpeer $'frame 100\nscsim-hello v2 fnv1a dead'   # then abrupt close
+sleep 0.3
+alive "after malformed peers"
+"$CLI" status --port "$PORT" >/dev/null   # still speaks the protocol
+
+echo "== 4. oversized submission: bounded retries, clean refusal"
+if "$CLI" submit "${OVERLOAD[@]}" --port "$PORT" --name chaos-big \
+    --busy-retries 2 --quiet \
+    --out "$WORK/never.json" >"$WORK/busy.log" 2>&1; then
+    echo "FAIL: 6-job submit was admitted past --max-queued-jobs 4" >&2
+    exit 1
+fi
+grep -q "daemon busy" "$WORK/busy.log" || {
+    echo "FAIL: refusal was not the typed busy error:" >&2
+    cat "$WORK/busy.log" >&2
+    exit 1
+}
+alive "after busy refusal"
+
+echo "== 5. silent client is disconnected at the idle deadline"
+idle=$( (exec 3<>"/dev/tcp/127.0.0.1/$PORT" && timeout 15 cat <&3) \
+    2>/dev/null || true)
+case $idle in
+*"idle timeout"*) ;;
+*) echo "FAIL: no idle-timeout notice before disconnect" >&2; exit 1 ;;
+esac
+alive "after idle disconnect"
+
+echo "== 6. concurrent submits while a worker is SIGKILLed"
+"$CLI" submit "${SWEEP_A[@]}" --port "$PORT" --name chaos-a --quiet \
+    --busy-retries 20 \
+    --out "$WORK/farm_A.json" --csv "$WORK/farm_A.csv" &
+apid=$!
+"$CLI" submit "${SWEEP_B[@]}" --port "$PORT" --name chaos-b --quiet \
+    --busy-retries 20 \
+    --out "$WORK/farm_B.json" --csv "$WORK/farm_B.csv" &
+bpid=$!
+killed=0
+for _ in $(seq 1 80); do
+    w=$(pgrep -P "$DPID" -f run-job | head -1 || true)
+    if [ -n "$w" ]; then
+        kill -9 "$w" 2>/dev/null && killed=1 && break
+    fi
+    kill -0 "$apid" 2>/dev/null || kill -0 "$bpid" 2>/dev/null || break
+    sleep 0.05
+done
+[ "$killed" -eq 1 ] && echo "   killed worker subprocess $w" \
+    || echo "   note: jobs finished before a worker could be killed"
+wait "$apid" || { echo "FAIL: submit A exited nonzero" >&2; exit 1; }
+wait "$bpid" || { echo "FAIL: submit B exited nonzero" >&2; exit 1; }
+cmp "$WORK/ref_A.json" "$WORK/farm_A.json"
+cmp "$WORK/ref_A.csv"  "$WORK/farm_A.csv"
+cmp "$WORK/ref_B.json" "$WORK/farm_B.json"
+cmp "$WORK/ref_B.csv"  "$WORK/farm_B.csv"
+
+echo "== 7. degradation counters recorded the chaos"
+"$CLI" status --port "$PORT" --json >"$WORK/status.json"
+field() { sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$WORK/status.json"; }
+rejected=$(field submitsRejected)
+idles=$(field idleDisconnects)
+if [ "${rejected:-0}" -lt 2 ] || [ "${idles:-0}" -lt 1 ]; then
+    echo "FAIL: counters missed the chaos: submitsRejected=$rejected" \
+         "idleDisconnects=$idles" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+fi
+
+echo "== 8. client SIGKILLed mid-sweep, then drain: daemon exits 0"
+"$CLI" submit "${SWEEP_C[@]}" --port "$PORT" --name chaos-c --quiet \
+    --busy-retries 20 \
+    --out "$WORK/farm_C.json" --csv "$WORK/farm_C.csv" &
+cpid=$!
+sleep 0.3
+kill -9 "$cpid" 2>/dev/null || true   # sweep continues detached
+wait "$cpid" 2>/dev/null || true
+"$CLI" drain --port "$PORT"
+drain_rc=0
+wait "$DPID" || drain_rc=$?
+if [ "$drain_rc" -ne 0 ]; then
+    echo "FAIL: drained daemon exited $drain_rc" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+DPID=
+
+echo "== 9. restart + submit --resume: byte-identical manifests"
+"$CLI" serve --port 0 --workers 2 \
+    --cache-dir "$WORK/cache2" --state-dir "$WORK/state" \
+    --quiet >"$WORK/serve2.log" 2>&1 &
+DPID=$!
+PORT=
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^serving on tcp port \([0-9]*\)$/\1/p' \
+        "$WORK/serve2.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: restarted daemon has no port" >&2; exit 1; }
+"$CLI" submit "${SWEEP_C[@]}" --port "$PORT" --name chaos-c --resume \
+    --quiet --out "$WORK/farm_C.json" --csv "$WORK/farm_C.csv"
+cmp "$WORK/ref_C.json" "$WORK/farm_C.json"
+cmp "$WORK/ref_C.csv"  "$WORK/farm_C.csv"
+
+kill -TERM "$DPID"
+for _ in $(seq 1 100); do
+    kill -0 "$DPID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$DPID" 2>/dev/null && {
+    echo "FAIL: restarted daemon ignored SIGTERM drain" >&2; exit 1; }
+DPID=
+
+echo "PASS: farm chaos smoke"

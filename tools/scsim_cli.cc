@@ -127,8 +127,8 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         scsim_fatal(
             "usage: scsim_cli <run|sweep|run-job|serve|submit|status|"
-            "checkpoint|version|list|list-designs|list-policies|dump|"
-            "info> [options]");
+            "drain|checkpoint|version|list|list-designs|list-policies|"
+            "dump|info> [options]");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string flag = argv[i];
@@ -715,6 +715,16 @@ serveSignalHandler(int)
         g_server->stop();  // async-signal-safe: atomic + pipe write
 }
 
+extern "C" void
+serveDrainHandler(int)
+{
+    // SIGTERM means "finish what you started, then go": jobs in
+    // flight complete and journal, queued work is left for --resume.
+    // A second SIGTERM escalates to the immediate stop.
+    if (g_server)
+        g_server->drain();  // async-signal-safe like stop()
+}
+
 /**
  * `serve`: the sweep farm daemon.  Binds the requested endpoints,
  * prints where it is serving (the ephemeral-port line is what scripts
@@ -751,13 +761,31 @@ cmdServe(const Args &args)
     if (auto it = args.options.find("checkpoint-cycles");
         it != args.options.end())
         opts.checkpointCycles = std::stoull(it->second);
+    if (auto it = args.options.find("max-queued-jobs");
+        it != args.options.end())
+        opts.maxQueuedJobs = std::stoull(it->second);
+    if (auto it = args.options.find("max-sweeps-per-client");
+        it != args.options.end())
+        opts.maxSweepsPerClient = std::stoull(it->second);
+    if (auto it = args.options.find("idle-timeout");
+        it != args.options.end())
+        opts.idleTimeoutSec = std::stod(it->second);
+    if (auto it = args.options.find("max-write-buffer-bytes");
+        it != args.options.end())
+        opts.maxWriteBufferBytes = std::stoull(it->second);
+    if (auto it = args.options.find("listen-backlog");
+        it != args.options.end())
+        opts.listenBacklog = std::stoi(it->second);
+    if (auto it = args.options.find("sndbuf-bytes");
+        it != args.options.end())
+        opts.sndbufBytes = std::stoi(it->second);
     opts.quiet = args.options.count("quiet") > 0;
 
     std::string socketPath = opts.socketPath;
     farm::FarmServer server(std::move(opts));
     g_server = &server;
     std::signal(SIGINT, serveSignalHandler);
-    std::signal(SIGTERM, serveSignalHandler);
+    std::signal(SIGTERM, serveDrainHandler);
 
     // Intentionally on stdout and flushed: launch scripts read these
     // lines to learn the endpoints (the ephemeral port especially).
@@ -796,6 +824,12 @@ cmdSubmit(const Args &args)
 
     SweepSelection sel = selectSweep(args);
     farm::FarmClient client = connectFarm(args);
+    if (auto it = args.options.find("busy-retries");
+        it != args.options.end()) {
+        farm::FarmClient::RetryPolicy p;
+        p.maxAttempts = std::stoi(it->second);
+        client.setRetryPolicy(p);
+    }
 
     std::string name = "sweep";
     if (auto it = args.options.find("name"); it != args.options.end())
@@ -893,6 +927,36 @@ cmdStatus(const Args &args)
     else
         std::printf("cache disk     : %llu bytes (unbounded)\n",
                     static_cast<unsigned long long>(st.cacheDiskBytes));
+    std::printf("limits         : %llu max queued jobs, %llu max "
+                "sweeps/client%s\n",
+                static_cast<unsigned long long>(st.maxQueuedJobs),
+                static_cast<unsigned long long>(st.maxSweepsPerClient),
+                st.draining ? " [draining]" : "");
+    std::printf("degradations   : %llu submits rejected, %llu idle "
+                "disconnects, %llu slow readers shed\n",
+                static_cast<unsigned long long>(st.submitsRejected),
+                static_cast<unsigned long long>(st.idleDisconnects),
+                static_cast<unsigned long long>(
+                    st.slowReaderDisconnects));
+    std::printf("               : %llu connections shed, %llu accept "
+                "failures, %llu stale completions\n",
+                static_cast<unsigned long long>(st.connectionsShed),
+                static_cast<unsigned long long>(st.acceptFailures),
+                static_cast<unsigned long long>(st.staleCompletions));
+    return 0;
+}
+
+/** `drain`: ask a daemon to finish in-flight work and exit. */
+int
+cmdDrain(const Args &args)
+{
+    farm::FarmClient client = connectFarm(args);
+    farm::DrainAckMsg ack = client.drain();
+    std::printf("draining: %llu job(s) in flight, %llu queued "
+                "(abandoned for --resume), %llu sweep(s) active\n",
+                static_cast<unsigned long long>(ack.inFlight),
+                static_cast<unsigned long long>(ack.abandoned),
+                static_cast<unsigned long long>(ack.sweepsActive));
     return 0;
 }
 
@@ -1127,6 +1191,8 @@ main(int argc, char **argv)
             return cmdSubmit(args);
         if (args.command == "status")
             return cmdStatus(args);
+        if (args.command == "drain")
+            return cmdDrain(args);
         if (args.command == "version")
             return cmdVersion();
         if (args.command == "list")
